@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark suite.
+
+The benchmarks regenerate the measurements behind the paper's Figures 12-14.
+Each cell (query x technique x deployment) is executed through
+pytest-benchmark so timings are recorded uniformly; the derived quantities
+the paper reports (throughput, latency, memory, traversal time) are attached
+to each benchmark's ``extra_info`` and are also asserted to have the expected
+*shape* (e.g. GeneaLog close to no-provenance, the baseline far behind).
+
+Select the workload size with ``--workload-scale`` (smoke/small/paper,
+default small).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import WorkloadScale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workload-scale",
+        action="store",
+        default=WorkloadScale.SMALL.value,
+        choices=[scale.value for scale in WorkloadScale],
+        help="workload size used by the figure benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def workload_scale(request) -> WorkloadScale:
+    return WorkloadScale.from_label(request.config.getoption("--workload-scale"))

@@ -1,0 +1,133 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures and quantify the cost/benefit of
+individual mechanisms of the reproduction:
+
+* fused SU/MU operators versus their standard-operator compositions
+  (Figures 5B and 8) -- the paper claims the composition makes provenance
+  expressible with standard operators; the fused form is the efficient
+  implementation,
+* traversal cost as a function of the contribution-graph size (the mechanism
+  behind Figure 14's differences between Q1-Q4),
+* the window-provenance optimisation of section 9 (item i): an aggregate that
+  declares its single contributing tuple versus one that links the whole
+  window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instrumentation import GeneaLogProvenance
+from repro.core.provenance import ProvenanceMode
+from repro.core.traversal import find_provenance
+from repro.experiments.config import workload_config_for
+from repro.experiments.harness import make_supplier
+from repro.spe.operators.aggregate import WindowSpec
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.spe.tuples import StreamTuple
+from repro.workloads.queries import build_query
+
+
+# ---------------------------------------------------------------------------
+# Fused vs composed SU (and the full provenance pipeline around it)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fused", [True, False], ids=["fused", "composed"])
+@pytest.mark.parametrize("query", ["q1", "q3"])
+def test_ablation_su_fused_vs_composed(benchmark, query, fused, workload_scale):
+    workload = workload_config_for(query, workload_scale)
+    supplier = make_supplier(workload)
+
+    def run():
+        bundle = build_query(query, supplier, mode=ProvenanceMode.GENEALOG, fused=fused)
+        Scheduler(bundle.query).run()
+        return bundle
+
+    bundle = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["records"] = len(bundle.capture.records())
+    assert bundle.capture.records()
+
+
+# ---------------------------------------------------------------------------
+# Traversal cost vs contribution-graph size
+# ---------------------------------------------------------------------------
+
+
+def _aggregate_chain(manager: GeneaLogProvenance, size: int) -> StreamTuple:
+    """Build one AGGREGATE tuple whose window holds ``size`` source tuples."""
+    window = []
+    for index in range(size):
+        source = StreamTuple(ts=float(index), values={"v": index})
+        manager.on_source_output(source)
+        window.append(source)
+    out = StreamTuple(ts=0.0, values={"size": size})
+    manager.on_aggregate_output(out, window)
+    return out
+
+
+@pytest.mark.parametrize("graph_size", [4, 24, 192, 1000])
+def test_ablation_traversal_scales_with_graph_size(benchmark, graph_size):
+    manager = GeneaLogProvenance(record_traversal_times=False)
+    root = _aggregate_chain(manager, graph_size)
+
+    result = benchmark(lambda: len(find_provenance(root)))
+    assert result == graph_size
+    benchmark.extra_info["graph_size"] = graph_size
+
+
+# ---------------------------------------------------------------------------
+# Window-provenance optimisation (section 9, item i)
+# ---------------------------------------------------------------------------
+
+
+def _max_query(readings, selective: bool) -> Query:
+    query = Query("max-consumption")
+    source = query.add_source("source", readings)
+    aggregate = query.add_aggregate(
+        "daily_max",
+        WindowSpec(size=24 * 3600.0),
+        lambda window, key: {
+            "meter_id": key,
+            "max_cons": max(t["cons"] for t in window),
+        },
+        key_function=lambda t: t["meter_id"],
+        contributors_function=(
+            (lambda window, key, values: [
+                next(t for t in window if t["cons"] == values["max_cons"])
+            ])
+            if selective
+            else None
+        ),
+    )
+    sink = query.add_sink("sink")
+    query.connect(source, aggregate)
+    query.connect(aggregate, sink)
+    return query
+
+
+@pytest.mark.parametrize("selective", [False, True], ids=["full-window", "selective"])
+def test_ablation_selective_window_provenance(benchmark, selective, workload_scale):
+    from repro.core.provenance import attach_intra_process_provenance
+
+    workload = workload_config_for("q3", workload_scale)
+    supplier = make_supplier(workload)
+
+    def run():
+        query = _max_query(supplier, selective)
+        capture = attach_intra_process_provenance(query, ProvenanceMode.GENEALOG)
+        Scheduler(query).run()
+        return capture
+
+    capture = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    records = capture.records()
+    assert records
+    average_size = sum(r.source_count for r in records) / len(records)
+    benchmark.extra_info["avg_provenance_size"] = round(average_size, 1)
+    if selective:
+        # only the maximum reading of each (meter, day) window contributes.
+        assert all(record.source_count == 1 for record in records)
+    else:
+        assert all(record.source_count >= 24 for record in records)

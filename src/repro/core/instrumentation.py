@@ -1,0 +1,153 @@
+"""GeneaLog's operator instrumentation (section 4.1 of the paper).
+
+:class:`GeneaLogProvenance` implements the
+:class:`~repro.spe.provenance_api.ProvenanceManager` hooks so that every
+tuple created by an operator carries the fixed-size metadata of
+:class:`~repro.core.meta.GeneaLogMeta`:
+
+* Source      -> ``T = SOURCE`` (no pointers),
+* Map         -> ``T = MAP``, ``U1`` = contributing input,
+* Multiplex   -> ``T = MULTIPLEX``, ``U1`` = contributing input,
+* Join        -> ``T = JOIN``, ``U1`` = newer input, ``U2`` = older input,
+* Aggregate   -> ``T = AGGREGATE``, ``U2`` = earliest window tuple,
+  ``U1`` = latest window tuple, ``N`` chaining consecutive window tuples,
+* Send        -> serialises ``T`` (downgraded to ``REMOTE`` unless it is
+  ``SOURCE``) together with the tuple's unique ``ID``,
+* Receive     -> re-attaches the serialised type and ``ID`` to the tuple
+  object created on the receiving side.
+
+Filter and Union forward tuples, so no hook exists for them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.meta import GeneaLogMeta, require_meta
+from repro.core.traversal import find_provenance
+from repro.core.types import TupleType
+from repro.spe.provenance_api import ProvenanceManager
+from repro.spe.tuples import StreamTuple
+
+
+class GeneaLogProvenance(ProvenanceManager):
+    """GeneaLog instrumentation: fixed-size metadata, pointer-based linking.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier of the SPE instance this manager is installed on.  It
+        prefixes the unique tuple ``ID``\\ s so that ids remain unique across
+        instances (footnote 2 of section 6).
+    record_traversal_times:
+        When True (the default), :meth:`unfold` records how long every
+        contribution-graph traversal took; the experiment harness reads these
+        samples to reproduce Figure 14.
+    """
+
+    name = "GL"
+
+    def __init__(self, node_id: str = "local", record_traversal_times: bool = True) -> None:
+        self.node_id = node_id
+        self.record_traversal_times = record_traversal_times
+        self.traversal_times_s: List[float] = []
+        self._id_counter = itertools.count()
+
+    # -- id management -------------------------------------------------------
+    def _new_id(self) -> str:
+        return f"{self.node_id}:{next(self._id_counter)}"
+
+    def tuple_id(self, tup: StreamTuple) -> Optional[str]:
+        # Ids are assigned lazily: only tuples that actually reach an SU, an
+        # MU or a process boundary ever need one (section 6), so the common
+        # per-tuple path stays as cheap as possible.
+        #
+        # A Multiplex copy is the same logical tuple as its input (it only
+        # exists so that two downstream branches get their own object), so it
+        # resolves to its input's id.  This is what makes the standard-
+        # operator SU composition of Figure 5B (Multiplex + unfolding Map)
+        # interchangeable with the fused SU: the copy fed to the Send/Sink
+        # and the copy fed to the unfolding Map report the same id.
+        meta = require_meta(tup)
+        while meta.type is TupleType.MULTIPLEX and meta.u1 is not None:
+            tup = meta.u1
+            meta = require_meta(tup)
+        if meta.tuple_id is None:
+            meta.tuple_id = self._new_id()
+        return meta.tuple_id
+
+    # -- instrumented creation hooks -------------------------------------------
+    def on_source_output(self, tup: StreamTuple) -> None:
+        tup.meta = GeneaLogMeta(TupleType.SOURCE)
+
+    def on_map_output(self, out_tuple: StreamTuple, in_tuple: StreamTuple) -> None:
+        require_meta(in_tuple)
+        out_tuple.meta = GeneaLogMeta(TupleType.MAP, u1=in_tuple)
+
+    def on_multiplex_output(self, out_tuple: StreamTuple, in_tuple: StreamTuple) -> None:
+        require_meta(in_tuple)
+        out_tuple.meta = GeneaLogMeta(TupleType.MULTIPLEX, u1=in_tuple)
+
+    def on_join_output(
+        self, out_tuple: StreamTuple, newer: StreamTuple, older: StreamTuple
+    ) -> None:
+        require_meta(newer)
+        require_meta(older)
+        out_tuple.meta = GeneaLogMeta(TupleType.JOIN, u1=newer, u2=older)
+
+    def on_aggregate_output(
+        self,
+        out_tuple: StreamTuple,
+        window: Sequence[StreamTuple],
+        contributors: Optional[Sequence[StreamTuple]] = None,
+    ) -> None:
+        # Window-provenance optimisation (paper section 9, item i): when the
+        # aggregate declares that only one or two window tuples actually
+        # contributed (e.g. max/min, first/last), the output can reuse the
+        # single-parent (MAP) or two-parent (JOIN) pointer layout instead of
+        # chaining the whole window, so non-contributing tuples become
+        # reclaimable immediately.  Larger subsets fall back to the full
+        # window: the N chain is shared across overlapping windows, so a
+        # partial chain could leak tuples from other windows into the
+        # traversal.
+        if contributors is not None and 0 < len(contributors) <= 2:
+            ordered = sorted(contributors, key=lambda t: t.ts)
+            for contributor in ordered:
+                require_meta(contributor)
+            if len(ordered) == 1:
+                out_tuple.meta = GeneaLogMeta(TupleType.MAP, u1=ordered[0])
+            else:
+                out_tuple.meta = GeneaLogMeta(
+                    TupleType.JOIN, u1=ordered[-1], u2=ordered[0]
+                )
+            return
+        if not window:
+            out_tuple.meta = GeneaLogMeta(TupleType.AGGREGATE)
+            return
+        earliest = window[0]
+        latest = window[-1]
+        for current, following in zip(window, window[1:]):
+            require_meta(current).n = following
+        require_meta(latest)
+        out_tuple.meta = GeneaLogMeta(TupleType.AGGREGATE, u1=latest, u2=earliest)
+
+    # -- process boundary hooks ---------------------------------------------------
+    def on_send(self, tup: StreamTuple) -> Dict[str, Any]:
+        meta = require_meta(tup)
+        sent_type = TupleType.SOURCE if meta.type is TupleType.SOURCE else TupleType.REMOTE
+        return {"type": sent_type.value, "id": self.tuple_id(tup)}
+
+    def on_receive(self, tup: StreamTuple, payload: Dict[str, Any]) -> None:
+        tuple_type = TupleType(payload.get("type", TupleType.REMOTE.value))
+        tup.meta = GeneaLogMeta(tuple_type, tuple_id=payload.get("id"))
+
+    # -- provenance retrieval --------------------------------------------------------
+    def unfold(self, tup: StreamTuple) -> List[StreamTuple]:
+        if not self.record_traversal_times:
+            return find_provenance(tup)
+        started = time.perf_counter()
+        originating = find_provenance(tup)
+        self.traversal_times_s.append(time.perf_counter() - started)
+        return originating

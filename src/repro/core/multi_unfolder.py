@@ -1,0 +1,255 @@
+"""The multi-stream unfolder (MU) operator of section 6.
+
+The MU operator completes the unfolding of a *derived* stream (the unfolded
+delivering stream of the local instance) using one or more *upstream*
+unfolded delivering streams received from instances closer to the sources
+(Definition 6.4):
+
+* a derived tuple whose originating part is of type SOURCE is already
+  complete and is forwarded unchanged;
+* a derived tuple whose originating part is of type REMOTE is replaced by the
+  upstream tuples whose (delivering) ``sink_id`` equals the derived tuple's
+  ``id_o`` -- i.e. the upstream unfolding of the very tuple that crossed the
+  process boundary.
+
+Two implementations are provided, as in the paper: the fused
+:class:`MUOperator` and :func:`attach_mu` with ``fused=False``, the
+composition of standard operators of Figure 8 (Union of the upstream
+streams, a Join matching ``ID`` with ``IDO``, and a Multiplex/Filter/Union
+bypass for SOURCE tuples in the derived stream).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List
+
+from repro.core.types import TupleType
+from repro.core.unfolder import (
+    ORIGIN_ID_FIELD,
+    ORIGIN_TYPE_FIELD,
+    SINK_ID_FIELD,
+    SINK_PREFIX,
+    SINK_TS_FIELD,
+)
+from repro.spe.operators.base import MultiInputOperator, Operator
+from repro.spe.query import Query
+from repro.spe.tuples import StreamTuple
+
+
+def _sink_part(tup: StreamTuple) -> Dict[str, Any]:
+    """The attributes describing the (local) sink tuple of an unfolded tuple."""
+    return {
+        key: value
+        for key, value in tup.values.items()
+        if key.startswith(SINK_PREFIX) or key in (SINK_TS_FIELD, SINK_ID_FIELD)
+    }
+
+
+def _origin_part(tup: StreamTuple) -> Dict[str, Any]:
+    """The attributes describing the originating tuple of an unfolded tuple."""
+    return {
+        key: value
+        for key, value in tup.values.items()
+        if not key.startswith(SINK_PREFIX)
+    }
+
+
+def combine_derived_and_upstream(
+    derived: StreamTuple, upstream: StreamTuple
+) -> Dict[str, Any]:
+    """Merge a derived tuple's sink part with an upstream tuple's origin part.
+
+    This implements the "replacement" of Definition 6.4: the REMOTE
+    originating tuple carried by ``derived`` is substituted by the originating
+    tuples that ``upstream`` (produced on the instance that created the REMOTE
+    tuple) carries.
+    """
+    values = _sink_part(derived)
+    values.update(_origin_part(upstream))
+    return values
+
+
+class MUOperator(MultiInputOperator):
+    """Fused multi-stream unfolder (Definition 6.4, Figure 6).
+
+    Input port 0 must carry the derived stream; every further input port is
+    an upstream unfolded delivering stream.  ``retention`` bounds how far
+    apart (in event time) a derived tuple and the matching upstream tuples
+    can be; the paper sets it to the sum of the window sizes of the stateful
+    operators deployed on the instance producing the derived stream.
+    """
+
+    max_inputs = None
+    max_outputs = 1
+
+    DERIVED_PORT = 0
+
+    def __init__(self, name: str, retention: float) -> None:
+        super().__init__(name)
+        self.retention = float(retention)
+        self._upstream_by_id: Dict[str, List[StreamTuple]] = {}
+        self._upstream_order: Deque[StreamTuple] = deque()
+        self._derived_by_origin: Dict[str, List[StreamTuple]] = {}
+        self._derived_order: Deque[StreamTuple] = deque()
+
+    # -- processing --------------------------------------------------------------
+    def process_tuple(self, tup: StreamTuple, input_index: int) -> None:
+        if input_index == self.DERIVED_PORT:
+            self._process_derived(tup)
+        else:
+            self._process_upstream(tup)
+
+    def _process_derived(self, derived: StreamTuple) -> None:
+        if derived.get(ORIGIN_TYPE_FIELD) == TupleType.SOURCE.value:
+            self.emit(derived)
+            return
+        origin_id = derived.get(ORIGIN_ID_FIELD)
+        for upstream in self._upstream_by_id.get(origin_id, ()):  # already received
+            self._emit_combined(derived, upstream)
+        self._derived_by_origin.setdefault(origin_id, []).append(derived)
+        self._derived_order.append(derived)
+
+    def _process_upstream(self, upstream: StreamTuple) -> None:
+        sink_id = upstream.get(SINK_ID_FIELD)
+        self._upstream_by_id.setdefault(sink_id, []).append(upstream)
+        self._upstream_order.append(upstream)
+        for derived in self._derived_by_origin.get(sink_id, ()):  # waiting derived tuples
+            self._emit_combined(derived, upstream)
+
+    def _emit_combined(self, derived: StreamTuple, upstream: StreamTuple) -> None:
+        out = StreamTuple(
+            ts=max(derived.ts, upstream.ts),
+            values=combine_derived_and_upstream(derived, upstream),
+        )
+        out.wall = max(derived.wall, upstream.wall)
+        newer, older = (derived, upstream) if derived.ts >= upstream.ts else (upstream, derived)
+        self.provenance.on_join_output(out, newer, older)
+        self.emit(out)
+
+    # -- state management -----------------------------------------------------------
+    def on_watermark(self, watermark: float) -> None:
+        if watermark == float("inf"):
+            return
+        horizon = watermark - self.retention
+        self._purge(self._upstream_order, self._upstream_by_id, SINK_ID_FIELD, horizon)
+        self._purge(self._derived_order, self._derived_by_origin, ORIGIN_ID_FIELD, horizon)
+
+    @staticmethod
+    def _purge(
+        order: Deque[StreamTuple],
+        index: Dict[str, List[StreamTuple]],
+        key_field: str,
+        horizon: float,
+    ) -> None:
+        while order and order[0].ts < horizon:
+            tup = order.popleft()
+            key = tup.get(key_field)
+            bucket = index.get(key)
+            if not bucket:
+                continue
+            try:
+                bucket.remove(tup)
+            except ValueError:  # pragma: no cover - tuple already removed
+                pass
+            if not bucket:
+                del index[key]
+
+    def buffered_tuples(self) -> int:
+        """Number of tuples currently buffered while waiting for matches."""
+        return len(self._upstream_order) + len(self._derived_order)
+
+
+def attach_mu(
+    query: Query,
+    retention: float,
+    upstream_count: int,
+    name: str = "mu",
+    fused: bool = True,
+    derived_may_contain_sources: bool = True,
+) -> "MUPorts":
+    """Create an MU inside ``query`` and return its connection points.
+
+    With ``fused=True`` a single :class:`MUOperator` is added.  With
+    ``fused=False`` the standard-operator composition of Figure 8 is built: a
+    Union merging the upstream streams (only when there are two or more), a
+    Join matching upstream ``sink_id`` with derived ``id_o``, and -- when the
+    derived stream may contain SOURCE tuples -- a Multiplex plus two Filters
+    and a final Union that bypass complete tuples around the Join.
+    """
+    if fused:
+        mu = query.add(MUOperator(name, retention))
+        return MUPorts(derived_entry=mu, upstream_entry=mu, output=mu, fused=True)
+
+    join = query.add_join(
+        f"{name}_join",
+        window_size=retention,
+        predicate=lambda upstream, derived: upstream.get(SINK_ID_FIELD)
+        == derived.get(ORIGIN_ID_FIELD),
+        combiner=lambda upstream, derived: combine_derived_and_upstream(derived, upstream),
+    )
+    # The upstream union is always created (even for a single upstream
+    # stream) so that the Join's left input is guaranteed to be the upstream
+    # side regardless of the order in which the caller wires the streams.
+    upstream_union = query.add_union(f"{name}_upstream_union")
+    query.connect(upstream_union, join)
+    upstream_entry: Operator = upstream_union
+
+    if derived_may_contain_sources:
+        multiplex = query.add_multiplex(f"{name}_multiplex")
+        not_source = query.add_filter(
+            f"{name}_filter_remote",
+            lambda t: t.get(ORIGIN_TYPE_FIELD) != TupleType.SOURCE.value,
+        )
+        only_source = query.add_filter(
+            f"{name}_filter_source",
+            lambda t: t.get(ORIGIN_TYPE_FIELD) == TupleType.SOURCE.value,
+        )
+        output_union = query.add_union(f"{name}_output_union")
+        query.connect(multiplex, not_source)
+        query.connect(multiplex, only_source)
+        query.connect(not_source, join)
+        query.connect(only_source, output_union)
+        query.connect(join, output_union)
+        return MUPorts(
+            derived_entry=multiplex,
+            upstream_entry=upstream_entry,
+            output=output_union,
+            fused=False,
+        )
+
+    query_derived_entry = join
+    return MUPorts(
+        derived_entry=query_derived_entry,
+        upstream_entry=upstream_entry,
+        output=join,
+        fused=False,
+    )
+
+
+class MUPorts:
+    """Connection points of an MU created by :func:`attach_mu`.
+
+    * connect the derived stream's producer (or Receive) to ``derived_entry``,
+    * connect every upstream stream's producer (or Receive) to
+      ``upstream_entry``,
+    * connect ``output`` to the provenance Sink (or to a Send for deeper
+      deployments).
+
+    For the fused MU the derived stream must be connected **first** (it must
+    own input port 0).  For the composed MU, the upstream side must be
+    connected to the Join **before** the derived side (the Join's left input
+    is the upstream union), which :func:`attach_mu` already guarantees.
+    """
+
+    def __init__(
+        self,
+        derived_entry: Operator,
+        upstream_entry: Operator,
+        output: Operator,
+        fused: bool,
+    ) -> None:
+        self.derived_entry = derived_entry
+        self.upstream_entry = upstream_entry
+        self.output = output
+        self.fused = fused

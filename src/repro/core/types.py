@@ -1,0 +1,34 @@
+"""Tuple types used by GeneaLog's fixed-size metadata.
+
+The ``Type`` meta-attribute records *which operator created a tuple*.  As in
+section 4 of the paper, only operators that create new tuples have a type:
+Filter and Union forward existing tuples and therefore define no value.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TupleType(str, Enum):
+    """Value of the ``T`` (Type) meta-attribute."""
+
+    #: created by a Source; leaf of every contribution graph.
+    SOURCE = "SOURCE"
+    #: created by a Map (one contributing input, via U1).
+    MAP = "MAP"
+    #: created by a Multiplex (one contributing input, via U1).
+    MULTIPLEX = "MULTIPLEX"
+    #: created by a Join (two contributing inputs, via U1 and U2).
+    JOIN = "JOIN"
+    #: created by an Aggregate (a window of inputs, via U2 -> N ... -> U1).
+    AGGREGATE = "AGGREGATE"
+    #: created by an operator running in another SPE instance; local leaf.
+    REMOTE = "REMOTE"
+
+    def is_leaf(self) -> bool:
+        """True for the types at which a local traversal stops."""
+        return self in (TupleType.SOURCE, TupleType.REMOTE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

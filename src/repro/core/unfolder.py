@@ -1,0 +1,135 @@
+"""The single-stream unfolder (SU) operator of section 5.
+
+The SU operator has one input stream and two output streams: ``SO`` is an
+exact copy of the input (it keeps feeding the Sink), and ``U`` is the
+*unfolded* stream in which every tuple is replaced by its originating tuples
+combined with the tuple's own attributes (Definitions 4.1 and 5.1).
+
+Two implementations are provided, as in the paper:
+
+* :class:`SUOperator` -- the efficient "fused" user-defined operator,
+* :func:`attach_su` with ``fused=False`` -- the composition of standard
+  operators of Figure 5B (a Multiplex feeding the Sink and an unfolding Map).
+
+Both produce identical unfolded streams; a test asserts this equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.meta import get_meta
+from repro.core.types import TupleType
+from repro.spe.operators.base import Operator, SingleInputOperator
+from repro.spe.provenance_api import ProvenanceManager
+from repro.spe.query import Query
+from repro.spe.tuples import StreamTuple
+
+#: attribute names added to every unfolded tuple.
+SINK_TS_FIELD = "sink_ts"
+SINK_ID_FIELD = "sink_id"
+ORIGIN_TS_FIELD = "ts_o"
+ORIGIN_ID_FIELD = "id_o"
+ORIGIN_TYPE_FIELD = "type_o"
+SINK_PREFIX = "sink_"
+
+
+def origin_type_name(origin: StreamTuple) -> str:
+    """The type (SOURCE or REMOTE) of an originating tuple, as a string."""
+    meta = get_meta(origin)
+    if meta is None:
+        return TupleType.SOURCE.value
+    return meta.type.value
+
+
+def make_unfolded_values(
+    unfolded_of: StreamTuple,
+    origin: StreamTuple,
+    manager: ProvenanceManager,
+) -> Dict[str, Any]:
+    """Build the attribute mapping of one unfolded tuple.
+
+    The unfolded tuple carries the attributes of the tuple being unfolded
+    (prefixed with ``sink_``) together with the originating tuple's
+    attributes and its timestamp / unique id / type (``ts_o`` / ``id_o`` /
+    ``type_o``, Definition 6.2).
+    """
+    values: Dict[str, Any] = {SINK_PREFIX + key: value for key, value in unfolded_of.values.items()}
+    values[SINK_TS_FIELD] = unfolded_of.ts
+    values[SINK_ID_FIELD] = manager.tuple_id(unfolded_of)
+    values.update(origin.values)
+    values[ORIGIN_TS_FIELD] = origin.ts
+    values[ORIGIN_ID_FIELD] = manager.tuple_id(origin)
+    values[ORIGIN_TYPE_FIELD] = origin_type_name(origin)
+    return values
+
+
+class UnfoldMapOperator(SingleInputOperator):
+    """The Map of Figure 5B: expands each tuple into its originating tuples.
+
+    For every input tuple ``t`` it applies ``findProvenance`` (through the
+    installed provenance manager) and emits one unfolded tuple per
+    originating tuple.
+    """
+
+    max_inputs = 1
+    max_outputs = 1
+
+    def process_tuple(self, tup: StreamTuple) -> None:
+        for origin in self.provenance.unfold(tup):
+            out = StreamTuple(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
+            out.wall = max(tup.wall, origin.wall)
+            self.provenance.on_map_output(out, tup)
+            self.emit(out)
+
+
+class SUOperator(SingleInputOperator):
+    """Fused single-stream unfolder (Definition 5.2, Figure 5A).
+
+    Output port 0 is ``SO`` (the exact copy feeding the Sink), output port 1
+    is ``U`` (the unfolded stream).  Connect the data consumer first and the
+    provenance consumer second.
+    """
+
+    max_inputs = 1
+    max_outputs = 2
+
+    #: output port delivering the unmodified input stream.
+    DATA_PORT = 0
+    #: output port delivering the unfolded stream.
+    UNFOLDED_PORT = 1
+
+    def process_tuple(self, tup: StreamTuple) -> None:
+        self.emit(tup, self.DATA_PORT)
+        for origin in self.provenance.unfold(tup):
+            out = StreamTuple(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
+            out.wall = max(tup.wall, origin.wall)
+            self.provenance.on_map_output(out, tup)
+            self.emit(out, self.UNFOLDED_PORT)
+
+
+def attach_su(
+    query: Query,
+    producer: Operator,
+    name: str = "su",
+    fused: bool = True,
+) -> Tuple[Operator, Operator]:
+    """Insert an SU fed by ``producer`` into ``query``.
+
+    Returns ``(data_operator, unfolded_operator)``: connect the Sink (or the
+    Send feeding the next instance) to ``data_operator``'s next free output
+    port, and the provenance consumer to ``unfolded_operator``.
+
+    With ``fused=True`` a single :class:`SUOperator` is used; with
+    ``fused=False`` the standard-operator composition of Figure 5B
+    (Multiplex + unfolding Map) is built instead.
+    """
+    if fused:
+        su = query.add(SUOperator(name))
+        query.connect(producer, su)
+        return su, su
+    multiplex = query.add_multiplex(f"{name}_multiplex")
+    unfold = query.add(UnfoldMapOperator(f"{name}_unfold"))
+    query.connect(producer, multiplex)
+    query.connect(multiplex, unfold)
+    return multiplex, unfold

@@ -1,0 +1,24 @@
+"""Experiment harness reproducing the paper's evaluation (section 7).
+
+* :mod:`repro.experiments.config` -- workload scales and experiment cells,
+* :mod:`repro.experiments.harness` -- run one (query, technique, deployment)
+  cell and collect throughput / latency / memory / traversal metrics,
+* :mod:`repro.experiments.figures` -- regenerate Figures 12, 13 and 14 as
+  text tables (``python -m repro.experiments.figures all``).
+"""
+
+from repro.experiments.config import ExperimentCell, WorkloadScale, workload_config_for
+from repro.experiments.harness import run_cell, run_intra_process, run_inter_process
+from repro.experiments.figures import figure12, figure13, figure14
+
+__all__ = [
+    "ExperimentCell",
+    "WorkloadScale",
+    "workload_config_for",
+    "run_cell",
+    "run_intra_process",
+    "run_inter_process",
+    "figure12",
+    "figure13",
+    "figure14",
+]

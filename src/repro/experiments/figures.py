@@ -1,0 +1,201 @@
+"""Regenerate the paper's result figures as text tables.
+
+* :func:`figure12` -- intra-process throughput / latency / memory for Q1-Q4
+  under NP, GL and BL (paper Figure 12),
+* :func:`figure13` -- the same four metrics for the three-instance
+  deployments (paper Figure 13),
+* :func:`figure14` -- per-sink-tuple contribution-graph traversal times,
+  intra-process and per SPE instance inter-process (paper Figure 14).
+
+Run from the command line::
+
+    python -m repro.experiments.figures all --scale small
+
+Absolute numbers differ from the paper (a pure-Python SPE on a workstation is
+not a Java SPE on an Odroid); the comparisons that matter are the *relative*
+ones: GL stays within a few percent of NP while BL collapses, and traversal
+cost grows with the contribution-graph size.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.provenance import ProvenanceMode
+from repro.experiments.config import ExperimentCell, WorkloadScale
+from repro.experiments.harness import run_cell
+from repro.spe.metrics import RunMetrics, StatSummary
+
+QUERIES = ("q1", "q2", "q3", "q4")
+MODES = (ProvenanceMode.NONE, ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE)
+
+
+@dataclass
+class FigureResult:
+    """All per-cell metrics of one figure, plus a rendered text table."""
+
+    name: str
+    cells: Dict[str, RunMetrics] = field(default_factory=dict)
+    text: str = ""
+
+    def cell(self, query: str, mode: ProvenanceMode) -> Optional[RunMetrics]:
+        """Metrics of one (query, technique) cell, if it was run."""
+        return self.cells.get(f"{query}/{mode.label}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+def _percentage(value: float, reference: float) -> str:
+    if reference == 0:
+        return "   n/a"
+    return f"{(value - reference) / reference * 100:+6.1f}%"
+
+
+def _collect(
+    deployment: str,
+    scale: WorkloadScale,
+    repetitions: int,
+    modes: Sequence[ProvenanceMode] = MODES,
+    queries: Sequence[str] = QUERIES,
+) -> Dict[str, RunMetrics]:
+    cells: Dict[str, RunMetrics] = {}
+    for query in queries:
+        for mode in modes:
+            cell = ExperimentCell(
+                query=query,
+                mode=mode,
+                deployment=deployment,
+                scale=scale,
+                repetitions=repetitions,
+            )
+            cells[f"{query}/{mode.label}"] = run_cell(cell)
+    return cells
+
+
+def _performance_table(name: str, cells: Dict[str, RunMetrics]) -> str:
+    lines = [
+        f"{name}: throughput / latency / memory per query and technique",
+        f"{'query':<6}{'tech':<6}{'tput (t/s)':>14}{'vs NP':>9}"
+        f"{'latency (ms)':>14}{'vs NP':>9}{'avg mem (MB)':>14}{'max mem (MB)':>14}",
+    ]
+    for query in QUERIES:
+        reference = cells.get(f"{query}/NP")
+        for mode in MODES:
+            metrics = cells.get(f"{query}/{mode.label}")
+            if metrics is None:
+                continue
+            throughput = metrics.throughput_tps
+            latency_ms = metrics.latency.mean * 1000.0
+            versus_throughput = (
+                _percentage(throughput, reference.throughput_tps) if reference else "   n/a"
+            )
+            versus_latency = (
+                _percentage(latency_ms, reference.latency.mean * 1000.0)
+                if reference and reference.latency.mean
+                else "   n/a"
+            )
+            lines.append(
+                f"{query:<6}{mode.label:<6}{throughput:>14.0f}{versus_throughput:>9}"
+                f"{latency_ms:>14.2f}{versus_latency:>9}"
+                f"{metrics.memory_average_mb:>14.3f}{metrics.memory_max_mb:>14.3f}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure12(
+    scale: WorkloadScale = WorkloadScale.SMALL, repetitions: int = 1
+) -> FigureResult:
+    """Reproduce Figure 12: intra-process provenance overhead."""
+    cells = _collect("intra", scale, repetitions)
+    result = FigureResult(name="Figure 12 (intra-process)", cells=cells)
+    result.text = _performance_table(result.name, cells)
+    return result
+
+
+def figure13(
+    scale: WorkloadScale = WorkloadScale.SMALL, repetitions: int = 1
+) -> FigureResult:
+    """Reproduce Figure 13: inter-process provenance overhead."""
+    cells = _collect("inter", scale, repetitions)
+    result = FigureResult(name="Figure 13 (inter-process)", cells=cells)
+    result.text = _performance_table(result.name, cells)
+    return result
+
+
+def figure14(
+    scale: WorkloadScale = WorkloadScale.SMALL, repetitions: int = 1
+) -> FigureResult:
+    """Reproduce Figure 14: contribution-graph traversal time per sink tuple."""
+    intra = _collect("intra", scale, repetitions, modes=(ProvenanceMode.GENEALOG,))
+    inter = _collect("inter", scale, repetitions, modes=(ProvenanceMode.GENEALOG,))
+    cells: Dict[str, RunMetrics] = {}
+    for key, metrics in intra.items():
+        cells[f"intra/{key}"] = metrics
+    for key, metrics in inter.items():
+        cells[f"inter/{key}"] = metrics
+    result = FigureResult(name="Figure 14 (traversal time)", cells=cells)
+
+    lines = [
+        "Figure 14: contribution-graph traversal time per sink tuple (GeneaLog)",
+        f"{'query':<6}{'deployment':<22}{'mean (ms)':>12}{'max (ms)':>12}{'samples':>10}",
+    ]
+    for query in QUERIES:
+        intra_metrics = cells.get(f"intra/{query}/GL")
+        if intra_metrics is not None:
+            summary = intra_metrics.traversal
+            lines.append(
+                f"{query:<6}{'intra-process':<22}{summary.mean * 1000:>12.4f}"
+                f"{summary.maximum * 1000:>12.4f}{summary.count:>10}"
+            )
+        inter_metrics = cells.get(f"inter/{query}/GL")
+        if inter_metrics is not None:
+            for instance, samples in sorted(inter_metrics.per_instance_traversal_s.items()):
+                summary = StatSummary.of(samples)
+                lines.append(
+                    f"{query:<6}{'inter (' + instance + ')':<22}{summary.mean * 1000:>12.4f}"
+                    f"{summary.maximum * 1000:>12.4f}{summary.count:>10}"
+                )
+        lines.append("")
+    result.text = "\n".join(lines)
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: regenerate one figure (or all of them)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figure",
+        choices=("fig12", "fig13", "fig14", "all"),
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default=WorkloadScale.SMALL.value,
+        choices=[scale.value for scale in WorkloadScale],
+        help="workload size (smoke/small/paper)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=1, help="runs to average per cell"
+    )
+    args = parser.parse_args(argv)
+    scale = WorkloadScale.from_label(args.scale)
+
+    selected = {
+        "fig12": [figure12],
+        "fig13": [figure13],
+        "fig14": [figure14],
+        "all": [figure12, figure13, figure14],
+    }[args.figure]
+    for figure in selected:
+        result = figure(scale=scale, repetitions=args.repetitions)
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

@@ -1,0 +1,147 @@
+"""Run one experiment cell and collect the paper's metrics.
+
+The harness builds the requested query (intra- or inter-process), runs it to
+completion on the synthetic workload, and collects:
+
+* throughput (source tuples per wall-clock second),
+* per-sink-tuple latency,
+* average and peak memory (tracemalloc samples taken during the run),
+* per-sink-tuple contribution-graph traversal time (and, for distributed
+  deployments, the same broken down per SPE instance),
+* the size of every sink tuple's provenance (number of contributing source
+  tuples),
+* bytes/tuples transferred between instances (distributed deployments only).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional
+
+from repro.core.provenance import ProvenanceMode
+from repro.experiments.config import (
+    ExperimentCell,
+    WorkloadConfig,
+    WorkloadScale,
+    workload_config_for,
+)
+from repro.spe.metrics import MemorySampler, RunMetrics, merge_metrics
+from repro.spe.runtime import DistributedRuntime
+from repro.spe.scheduler import Scheduler
+from repro.spe.tuples import StreamTuple
+from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+from repro.workloads.queries import build_distributed_query, build_query
+from repro.workloads.smart_grid import SmartGridConfig, SmartGridGenerator
+
+#: how many scheduler passes between two memory samples.
+MEMORY_SAMPLE_EVERY = 32
+
+
+def make_supplier(config: WorkloadConfig) -> Callable[[], Iterable[StreamTuple]]:
+    """Return a zero-argument callable producing the workload's tuples."""
+    if isinstance(config, LinearRoadConfig):
+        return LinearRoadGenerator(config).tuples
+    if isinstance(config, SmartGridConfig):
+        return SmartGridGenerator(config).tuples
+    raise TypeError(f"unsupported workload configuration {type(config).__name__}")
+
+
+def run_intra_process(
+    query_name: str,
+    mode: ProvenanceMode,
+    workload: Optional[WorkloadConfig] = None,
+    scale: WorkloadScale = WorkloadScale.SMALL,
+    fused: bool = True,
+) -> RunMetrics:
+    """Run ``query_name`` in a single SPE instance and collect metrics."""
+    workload = workload or workload_config_for(query_name, scale)
+    bundle = build_query(query_name, make_supplier(workload), mode=mode, fused=fused)
+    metrics = RunMetrics(query=query_name, technique=mode.label, deployment="intra")
+
+    sampler = MemorySampler()
+    sampler.start()
+    scheduler = Scheduler(
+        bundle.query,
+        pass_callback=lambda _: sampler.sample(),
+        callback_every=MEMORY_SAMPLE_EVERY,
+    )
+    started = time.perf_counter()
+    scheduler.run()
+    metrics.wall_time_s = time.perf_counter() - started
+    sampler.sample()
+    sampler.stop()
+
+    metrics.source_tuples = bundle.source.tuples_out
+    metrics.sink_tuples = bundle.sink.count
+    metrics.latencies_s = list(bundle.sink.latencies)
+    metrics.memory_samples_bytes = list(sampler.samples_bytes)
+    metrics.memory_peak_bytes = sampler.max_bytes
+    metrics.traversal_times_s = bundle.capture.traversal_times_s()
+    metrics.provenance_sizes = [
+        record.source_count for record in bundle.capture.records()
+    ]
+    return metrics
+
+
+def run_inter_process(
+    query_name: str,
+    mode: ProvenanceMode,
+    workload: Optional[WorkloadConfig] = None,
+    scale: WorkloadScale = WorkloadScale.SMALL,
+    fused: bool = True,
+) -> RunMetrics:
+    """Run ``query_name`` on the three-instance deployment and collect metrics."""
+    workload = workload or workload_config_for(query_name, scale)
+    bundle = build_distributed_query(
+        query_name, make_supplier(workload), mode=mode, fused=fused
+    )
+    metrics = RunMetrics(query=query_name, technique=mode.label, deployment="inter")
+
+    sampler = MemorySampler()
+    sampler.start()
+    runtime = DistributedRuntime(
+        bundle.instances,
+        round_callback=lambda _: sampler.sample(),
+        callback_every=MEMORY_SAMPLE_EVERY,
+    )
+    started = time.perf_counter()
+    runtime.run()
+    metrics.wall_time_s = time.perf_counter() - started
+    sampler.sample()
+    sampler.stop()
+
+    metrics.source_tuples = bundle.source.tuples_out
+    metrics.sink_tuples = bundle.sink.count
+    metrics.latencies_s = list(bundle.sink.latencies)
+    metrics.memory_samples_bytes = list(sampler.samples_bytes)
+    metrics.memory_peak_bytes = sampler.max_bytes
+    metrics.per_instance_traversal_s = bundle.traversal_times_by_instance()
+    metrics.traversal_times_s = [
+        sample
+        for samples in metrics.per_instance_traversal_s.values()
+        for sample in samples
+    ]
+    metrics.provenance_sizes = [
+        record.source_count for record in bundle.provenance_records()
+    ]
+    metrics.bytes_transferred = runtime.total_bytes_transferred()
+    metrics.tuples_transferred = runtime.total_tuples_transferred()
+    return metrics
+
+
+def run_cell(cell: ExperimentCell) -> RunMetrics:
+    """Run an :class:`ExperimentCell` (repeating and merging as configured)."""
+    workload = workload_config_for(cell.query, cell.scale)
+    runs = []
+    for _ in range(max(1, cell.repetitions)):
+        if cell.deployment == "intra":
+            runs.append(
+                run_intra_process(cell.query, cell.mode, workload=workload, fused=cell.fused)
+            )
+        else:
+            runs.append(
+                run_inter_process(cell.query, cell.mode, workload=workload, fused=cell.fused)
+            )
+    merged = merge_metrics(runs)
+    assert merged is not None  # repetitions >= 1
+    return merged

@@ -1,0 +1,46 @@
+"""A lightweight, deterministic stream processing engine (SPE).
+
+This package plays the role of the Liebre SPE in the original paper: it
+provides streams, the standard stateless and stateful operators (Map, Filter,
+Multiplex, Union, Aggregate, Join), Sources, Sinks, Send/Receive operators for
+crossing process boundaries, a deterministic watermark-driven scheduler, and a
+multi-instance runtime that connects several SPE instances with serialising
+channels.
+
+Determinism (see section 2 of the paper) is obtained by requiring sources to
+emit timestamp-sorted streams and by having every multi-input operator merge
+its inputs in timestamp order, gated by per-input watermarks.
+"""
+
+from repro.spe.tuples import StreamTuple, Watermark, END_OF_STREAM
+from repro.spe.streams import Stream
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.spe.instance import SPEInstance
+from repro.spe.runtime import DistributedRuntime
+from repro.spe.threaded import ThreadedRuntime, run_threaded
+from repro.spe.channels import Channel
+from repro.spe.fault_tolerance import (
+    DownstreamProgress,
+    ReliableSendOperator,
+    UpstreamBackup,
+    replay_into,
+)
+
+__all__ = [
+    "StreamTuple",
+    "Watermark",
+    "END_OF_STREAM",
+    "Stream",
+    "Query",
+    "Scheduler",
+    "SPEInstance",
+    "DistributedRuntime",
+    "ThreadedRuntime",
+    "run_threaded",
+    "Channel",
+    "DownstreamProgress",
+    "ReliableSendOperator",
+    "UpstreamBackup",
+    "replay_into",
+]

@@ -1,0 +1,89 @@
+"""Channels: the transport between Send and Receive operators.
+
+A :class:`Channel` models the link between two SPE instances (in the paper:
+two processes on distinct Odroid boards connected by a 100 Mbps switch).  It
+carries *serialised* tuples only, tracks the producer watermark, and records
+simple traffic statistics (tuples and bytes transferred) that the experiment
+harness uses to reason about network load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.spe.errors import ChannelError
+from repro.spe.tuples import FINAL_WATERMARK
+
+
+class Channel:
+    """A FIFO of serialised tuples between two SPE instances."""
+
+    __slots__ = (
+        "name",
+        "_queue",
+        "_watermark",
+        "_closed",
+        "tuples_sent",
+        "bytes_sent",
+    )
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._queue: Deque[str] = deque()
+        self._watermark: float = float("-inf")
+        self._closed = False
+        self.tuples_sent = 0
+        self.bytes_sent = 0
+
+    # -- producer side -----------------------------------------------------
+    def send(self, payload: str) -> None:
+        """Enqueue one serialised tuple."""
+        if self._closed:
+            raise ChannelError(f"channel {self.name!r} is closed")
+        self._queue.append(payload)
+        self.tuples_sent += 1
+        self.bytes_sent += len(payload)
+
+    def advance_watermark(self, ts: float) -> None:
+        """Advance the producer watermark (monotone)."""
+        if ts > self._watermark:
+            self._watermark = ts
+
+    def close(self) -> None:
+        """Signal that no further tuple will be sent."""
+        self._closed = True
+        self._watermark = FINAL_WATERMARK
+
+    # -- consumer side -----------------------------------------------------
+    def receive(self) -> Optional[str]:
+        """Dequeue one serialised tuple, or None when the channel is empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def receive_all(self) -> List[str]:
+        """Dequeue every available serialised tuple."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        """Largest timestamp below which no further tuple will be sent."""
+        return self._watermark
+
+    @property
+    def closed(self) -> bool:
+        """True once the producer called :meth:`close`."""
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel(name={self.name!r}, queued={len(self._queue)}, "
+            f"sent={self.tuples_sent}, bytes={self.bytes_sent})"
+        )

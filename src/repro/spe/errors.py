@@ -1,0 +1,25 @@
+"""Exception types raised by the SPE substrate."""
+
+
+class SPEError(Exception):
+    """Base class for every error raised by :mod:`repro.spe`."""
+
+
+class QueryValidationError(SPEError):
+    """The query DAG is malformed (cycles, dangling ports, arity mismatch)."""
+
+
+class StreamOrderError(SPEError):
+    """A producer violated the timestamp-sorted stream contract."""
+
+
+class SchedulingError(SPEError):
+    """The scheduler could not make progress or was misconfigured."""
+
+
+class SerializationError(SPEError):
+    """A tuple could not be serialised or deserialised at a process boundary."""
+
+
+class ChannelError(SPEError):
+    """A Send/Receive channel was used incorrectly (e.g. after closing)."""

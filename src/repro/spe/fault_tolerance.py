@@ -1,0 +1,142 @@
+"""Upstream-backup fault tolerance with provenance-aware pruning.
+
+The paper's future work (section 9, item iii) suggests leveraging GeneaLog
+"in fault tolerance approaches that rely on upstream peers' buffering and
+minimize the number of tuples the latter maintain (in order to replay them in
+case of failure)".  This module provides that integration point for the
+substrate:
+
+* :class:`UpstreamBackup` buffers the serialised tuples an instance sent
+  downstream so they can be replayed if the downstream instance fails before
+  persisting its state.
+* Instead of keeping everything until an explicit acknowledgement (classic
+  upstream backup [Hwang et al. 2005]), the buffer prunes a tuple as soon as
+  the downstream *progress watermark* guarantees it can no longer contribute
+  to any future output -- the same retention bound the MU operator uses
+  (the sum of the downstream window sizes).
+* :class:`ReliableSendOperator` is a drop-in replacement for the Send
+  operator that records every payload in such a backup, and
+  :func:`replay_into` re-injects the surviving payloads into a fresh channel
+  after a failure.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.spe.channels import Channel
+from repro.spe.errors import ChannelError
+from repro.spe.operators.send_receive import SendOperator
+from repro.spe.serialization import serialize_tuple
+from repro.spe.tuples import StreamTuple
+
+
+class DownstreamProgress:
+    """Shared progress indicator updated by the downstream instance.
+
+    The downstream instance advances it to the event-time watermark of the
+    state it has safely persisted (in these simulations: the watermark of the
+    tuples it has fully processed).  The upstream backup uses it to decide
+    which buffered tuples can never be needed again.
+    """
+
+    __slots__ = ("_watermark",)
+
+    def __init__(self) -> None:
+        self._watermark = float("-inf")
+
+    def advance(self, watermark: float) -> None:
+        """Advance the persisted-progress watermark (monotone)."""
+        if watermark > self._watermark:
+            self._watermark = watermark
+
+    @property
+    def watermark(self) -> float:
+        """Largest event time the downstream has durably processed."""
+        return self._watermark
+
+
+class UpstreamBackup:
+    """Buffer of sent tuples, pruned by contribution-based retention.
+
+    Parameters
+    ----------
+    retention:
+        Sum of the window sizes of the downstream stateful operators: a tuple
+        with timestamp ``ts`` can still contribute to a downstream output as
+        long as ``ts >= progress - retention``.
+    progress:
+        The :class:`DownstreamProgress` the downstream instance advances.
+    """
+
+    def __init__(self, retention: float, progress: Optional[DownstreamProgress] = None) -> None:
+        self.retention = float(retention)
+        self.progress = progress or DownstreamProgress()
+        self._buffer: Deque[Tuple[float, str]] = deque()
+        self.recorded = 0
+        self.pruned = 0
+
+    # -- producer side -------------------------------------------------------
+    def record(self, ts: float, payload: str) -> None:
+        """Remember one serialised tuple that was sent downstream."""
+        self._buffer.append((ts, payload))
+        self.recorded += 1
+
+    def prune(self) -> int:
+        """Drop every tuple that can no longer contribute downstream."""
+        horizon = self.progress.watermark - self.retention
+        dropped = 0
+        while self._buffer and self._buffer[0][0] < horizon:
+            self._buffer.popleft()
+            dropped += 1
+        self.pruned += dropped
+        return dropped
+
+    # -- recovery side ----------------------------------------------------------
+    def pending(self) -> List[str]:
+        """The serialised tuples that would be replayed after a failure."""
+        self.prune()
+        return [payload for _, payload in self._buffer]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class ReliableSendOperator(SendOperator):
+    """A Send operator that records every sent tuple in an upstream backup."""
+
+    def __init__(self, name: str, channel: Channel, backup: UpstreamBackup) -> None:
+        super().__init__(name, channel)
+        self.backup = backup
+
+    def process_tuple(self, tup: StreamTuple) -> None:
+        payload = serialize_tuple(tup, self.provenance.on_send(tup))
+        self.channel.send(payload)
+        self.backup.record(tup.ts, payload)
+        self._progress = True
+
+    def on_watermark(self, watermark: float) -> None:
+        super().on_watermark(watermark)
+        self.backup.prune()
+
+
+def replay_into(backup: UpstreamBackup, channel: Channel, close: bool = True) -> int:
+    """Replay the surviving backup contents into ``channel``.
+
+    Returns the number of replayed tuples.  Raises :class:`ChannelError` if
+    the channel was already closed (a replay target must be fresh).
+    """
+    if channel.closed:
+        raise ChannelError("cannot replay into a closed channel")
+    payloads = backup.pending()
+    last_ts = float("-inf")
+    for payload in payloads:
+        channel.send(payload)
+        last_ts = max(last_ts, json.loads(payload)["ts"])
+    if payloads:
+        channel.advance_watermark(last_ts)
+    if close:
+        channel.close()
+    return len(payloads)

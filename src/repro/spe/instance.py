@@ -1,0 +1,65 @@
+"""SPE instances: the unit of deployment for distributed queries.
+
+Each SPE instance represents a single process (section 2): operators inside
+an instance share memory (so GeneaLog can use plain object references), while
+tuples travelling between instances go through Send/Receive operators and are
+serialised (so only explicitly serialised metadata survives).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.spe.channels import Channel
+from repro.spe.query import Query
+
+
+class SPEInstance(Query):
+    """A :class:`Query` fragment deployed as one process.
+
+    The paper classifies instances by their position in the instance graph:
+
+    * a *source* instance hosts Sources and has no Receive operators,
+    * a *sink* instance hosts Sinks and has no Send operators,
+    * every other instance is *intermediate*.
+
+    The *ordering value* of an instance is the longest path from a source
+    instance to it; it is computed by the
+    :class:`~repro.spe.runtime.DistributedRuntime`.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name=name)
+        #: longest path from a source instance, filled in by the runtime.
+        self.ordering_value: Optional[int] = None
+
+    # -- classification ------------------------------------------------------
+    @property
+    def is_source_instance(self) -> bool:
+        """True when the instance is fed only by its own Sources."""
+        return bool(self.sources()) and not self.receives()
+
+    @property
+    def is_sink_instance(self) -> bool:
+        """True when the instance hosts Sinks and sends nothing downstream."""
+        return bool(self.sinks()) and not self.sends()
+
+    @property
+    def is_intermediate_instance(self) -> bool:
+        """True when the instance is neither a source nor a sink instance."""
+        return not self.is_source_instance and not self.is_sink_instance
+
+    # -- connectivity -----------------------------------------------------------
+    def outgoing_channels(self) -> List[Channel]:
+        """Channels written to by this instance's Send operators."""
+        return [send.channel for send in self.sends()]
+
+    def incoming_channels(self) -> List[Channel]:
+        """Channels read by this instance's Receive operators."""
+        return [receive.channel for receive in self.receives()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SPEInstance(name={self.name!r}, operators={len(self.operators)}, "
+            f"ordering_value={self.ordering_value})"
+        )

@@ -1,0 +1,44 @@
+"""The standard streaming operators provided by the SPE.
+
+The operator set mirrors section 2 of the paper:
+
+* stateless: :class:`MapOperator`, :class:`FilterOperator`,
+  :class:`MultiplexOperator`, :class:`UnionOperator`,
+  :class:`RouterOperator` (a Multiplex + Filters combination),
+* stateful: :class:`AggregateOperator`, :class:`JoinOperator`,
+* endpoints: :class:`SourceOperator`, :class:`SinkOperator`,
+* process boundaries: :class:`SendOperator`, :class:`ReceiveOperator`.
+"""
+
+from repro.spe.operators.base import Operator, SingleInputOperator, MultiInputOperator
+from repro.spe.operators.source import SourceOperator
+from repro.spe.operators.sink import SinkOperator
+from repro.spe.operators.map import MapOperator, FlatMapOperator
+from repro.spe.operators.filter import FilterOperator
+from repro.spe.operators.multiplex import MultiplexOperator
+from repro.spe.operators.union import UnionOperator
+from repro.spe.operators.router import RouterOperator
+from repro.spe.operators.aggregate import AggregateOperator, WindowSpec
+from repro.spe.operators.join import JoinOperator
+from repro.spe.operators.send_receive import SendOperator, ReceiveOperator
+from repro.spe.operators.sort import SortOperator
+
+__all__ = [
+    "Operator",
+    "SingleInputOperator",
+    "MultiInputOperator",
+    "SourceOperator",
+    "SinkOperator",
+    "MapOperator",
+    "FlatMapOperator",
+    "FilterOperator",
+    "MultiplexOperator",
+    "UnionOperator",
+    "RouterOperator",
+    "AggregateOperator",
+    "WindowSpec",
+    "JoinOperator",
+    "SendOperator",
+    "ReceiveOperator",
+    "SortOperator",
+]

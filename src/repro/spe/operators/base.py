@@ -1,0 +1,222 @@
+"""Operator base classes and the deterministic input-merge machinery."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.spe.errors import QueryValidationError
+from repro.spe.provenance_api import NoProvenance, ProvenanceManager
+from repro.spe.streams import Stream
+from repro.spe.tuples import StreamTuple
+
+_operator_ids = itertools.count()
+
+
+class Operator:
+    """Base class for every streaming operator.
+
+    An operator owns a list of input and output :class:`Stream` objects.  The
+    scheduler repeatedly calls :meth:`work`, which consumes whatever input is
+    available (respecting the deterministic merge rules), emits output tuples
+    and propagates watermarks.  ``work`` returns ``True`` when any progress
+    was made, which is what the scheduler uses to detect quiescence.
+    """
+
+    #: maximum number of input streams (None means unbounded).
+    max_inputs: Optional[int] = 1
+    #: maximum number of output streams (None means unbounded).
+    max_outputs: Optional[int] = 1
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.operator_id = next(_operator_ids)
+        self.inputs: List[Stream] = []
+        self.outputs: List[Stream] = []
+        self.provenance: ProvenanceManager = NoProvenance()
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self._in_watermark = float("-inf")
+        self._out_watermark = float("-inf")
+        self._outputs_closed = False
+        self._progress = False
+
+    # -- wiring --------------------------------------------------------------
+    def add_input(self, stream: Stream) -> None:
+        """Attach ``stream`` as the next input port."""
+        if self.max_inputs is not None and len(self.inputs) >= self.max_inputs:
+            raise QueryValidationError(
+                f"operator {self.name!r} accepts at most {self.max_inputs} input(s)"
+            )
+        self.inputs.append(stream)
+
+    def add_output(self, stream: Stream) -> None:
+        """Attach ``stream`` as the next output port."""
+        if self.max_outputs is not None and len(self.outputs) >= self.max_outputs:
+            raise QueryValidationError(
+                f"operator {self.name!r} accepts at most {self.max_outputs} output(s)"
+            )
+        self.outputs.append(stream)
+
+    def set_provenance(self, manager: ProvenanceManager) -> None:
+        """Install the provenance manager used by this operator."""
+        self.provenance = manager
+
+    def validate(self) -> None:
+        """Check the operator is correctly wired.  Called by the query."""
+        if self.max_inputs is not None and len(self.inputs) > self.max_inputs:
+            raise QueryValidationError(f"operator {self.name!r} has too many inputs")
+        if self.max_outputs is not None and len(self.outputs) > self.max_outputs:
+            raise QueryValidationError(f"operator {self.name!r} has too many outputs")
+
+    # -- execution -------------------------------------------------------------
+    def work(self) -> bool:
+        """Make as much progress as possible; return True if anything happened."""
+        raise NotImplementedError
+
+    def emit(self, tup: StreamTuple, port: int = 0) -> None:
+        """Push ``tup`` to output ``port``."""
+        self.tuples_out += 1
+        self.outputs[port].push(tup)
+        self._progress = True
+
+    def output_watermark_for(self, input_watermark: float) -> float:
+        """Translate an input watermark into the watermark safe to emit.
+
+        Stateless operators forward the watermark unchanged; windowed
+        operators hold it back by their window size.
+        """
+        return input_watermark
+
+    def on_watermark(self, watermark: float) -> None:
+        """Hook invoked when the (merged) input watermark advances."""
+
+    def on_close(self) -> None:
+        """Hook invoked once, when every input is closed and drained."""
+
+    # -- helpers used by concrete operators --------------------------------------
+    def _advance_outputs(self, output_watermark: float) -> None:
+        if output_watermark > self._out_watermark:
+            self._out_watermark = output_watermark
+            for stream in self.outputs:
+                stream.advance_watermark(output_watermark)
+            self._progress = True
+
+    def _close_outputs(self) -> None:
+        if not self._outputs_closed:
+            for stream in self.outputs:
+                stream.close()
+            self._outputs_closed = True
+            self._progress = True
+
+    def _inputs_exhausted(self) -> bool:
+        return all(stream.closed and len(stream) == 0 for stream in self.inputs)
+
+    @property
+    def finished(self) -> bool:
+        """True once the operator has nothing left to do."""
+        return self._outputs_closed or (not self.outputs and self._inputs_exhausted())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SingleInputOperator(Operator):
+    """Base class for operators with exactly one input stream."""
+
+    max_inputs = 1
+
+    def process_tuple(self, tup: StreamTuple) -> None:
+        """Process one input tuple (possibly emitting output tuples)."""
+        raise NotImplementedError
+
+    def work(self) -> bool:
+        self._progress = False
+        if not self.inputs:
+            return False
+        stream = self.inputs[0]
+        while stream.peek() is not None:
+            tup = stream.pop()
+            self.tuples_in += 1
+            self.process_tuple(tup)
+            self._progress = True
+        watermark = stream.watermark
+        if watermark > self._in_watermark:
+            self._in_watermark = watermark
+            self.on_watermark(watermark)
+            self._advance_outputs(self.output_watermark_for(watermark))
+        if self._inputs_exhausted() and not self._outputs_closed:
+            self.on_close()
+            self._close_outputs()
+        return self._progress
+
+
+class MultiInputOperator(Operator):
+    """Base class for operators that deterministically merge several inputs.
+
+    A head tuple from input ``i`` may only be consumed once its timestamp is
+    not larger than the *frontier* (head timestamp, or watermark when empty)
+    of every other input.  Ties are broken by the input index, which makes the
+    consumption order -- and therefore the whole query execution -- a pure
+    function of the input streams.
+    """
+
+    max_inputs: Optional[int] = None
+
+    def process_tuple(self, tup: StreamTuple, input_index: int) -> None:
+        """Process one input tuple taken from input ``input_index``."""
+        raise NotImplementedError
+
+    def _next_ready_input(self) -> Optional[int]:
+        best_index: Optional[int] = None
+        best_ts = float("inf")
+        for index, stream in enumerate(self.inputs):
+            head = stream.peek()
+            if head is None:
+                continue
+            if head.ts < best_ts:
+                best_ts = head.ts
+                best_index = index
+        if best_index is None:
+            return None
+        # The head of ``best_index`` may be consumed only when no other input
+        # could still deliver a tuple that must be processed before it.  A
+        # watermark promises "no future tuple with ts < watermark", so a tuple
+        # equal to the watermark may still arrive: equal timestamps on a
+        # lower-index input take precedence, so we require a strict bound
+        # there, and a non-strict bound on higher-index inputs.
+        for index, stream in enumerate(self.inputs):
+            if index == best_index:
+                continue
+            frontier = stream.frontier
+            if index < best_index:
+                if stream.peek() is None and best_ts >= frontier:
+                    return None
+                if stream.peek() is not None and best_ts > frontier:
+                    return None
+            else:
+                if best_ts > frontier:
+                    return None
+        return best_index
+
+    def work(self) -> bool:
+        self._progress = False
+        if not self.inputs:
+            return False
+        while True:
+            index = self._next_ready_input()
+            if index is None:
+                break
+            tup = self.inputs[index].pop()
+            self.tuples_in += 1
+            self.process_tuple(tup, index)
+            self._progress = True
+        watermark = min(stream.watermark for stream in self.inputs)
+        if watermark > self._in_watermark:
+            self._in_watermark = watermark
+            self.on_watermark(watermark)
+            self._advance_outputs(self.output_watermark_for(watermark))
+        if self._inputs_exhausted() and not self._outputs_closed:
+            self.on_close()
+            self._close_outputs()
+        return self._progress

@@ -1,0 +1,109 @@
+"""Join operator: time-windowed join of a left and a right stream.
+
+The Join "defines one left input stream (L) and one right input stream (R),
+and produces an output tuple combining and/or altering the attributes of
+tuples ``tL`` and ``tR`` for each pair satisfying a given predicate while not
+being far apart more than a given window size WS" (section 2).
+
+Inputs are consumed in deterministic merged timestamp order; a pair is
+emitted when the later of its two tuples is processed, so every matching pair
+is produced exactly once and output timestamps (the maximum of the pair) are
+non-decreasing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Mapping, Optional
+
+from repro.spe.errors import QueryValidationError
+from repro.spe.operators.base import MultiInputOperator
+from repro.spe.tuples import StreamTuple
+
+JoinPredicate = Callable[[StreamTuple, StreamTuple], bool]
+JoinCombiner = Callable[[StreamTuple, StreamTuple], Optional[Mapping[str, Any]]]
+
+LEFT = 0
+RIGHT = 1
+
+
+class JoinOperator(MultiInputOperator):
+    """Windowed two-way stream join.
+
+    Parameters
+    ----------
+    name:
+        Operator name.
+    window_size:
+        Maximum timestamp distance ``WS`` between the two tuples of a pair.
+    predicate:
+        ``predicate(left, right)`` decides whether the pair joins.
+    combiner:
+        ``combiner(left, right)`` builds the output attribute mapping
+        (returning ``None`` suppresses the pair).
+    """
+
+    max_inputs = 2
+    max_outputs = 1
+
+    def __init__(
+        self,
+        name: str,
+        window_size: float,
+        predicate: JoinPredicate,
+        combiner: JoinCombiner,
+    ) -> None:
+        super().__init__(name)
+        if window_size < 0:
+            raise QueryValidationError("join window size must be non-negative")
+        self.window_size = float(window_size)
+        self._predicate = predicate
+        self._combiner = combiner
+        self._buffers: Dict[int, Deque[StreamTuple]] = {LEFT: deque(), RIGHT: deque()}
+        self.pairs_emitted = 0
+
+    def validate(self) -> None:
+        super().validate()
+        if len(self.inputs) != 2:
+            raise QueryValidationError(
+                f"join {self.name!r} needs exactly two inputs, has {len(self.inputs)}"
+            )
+
+    def process_tuple(self, tup: StreamTuple, input_index: int) -> None:
+        other_index = RIGHT if input_index == LEFT else LEFT
+        for candidate in self._buffers[other_index]:
+            if abs(tup.ts - candidate.ts) > self.window_size:
+                continue
+            left, right = (tup, candidate) if input_index == LEFT else (candidate, tup)
+            if not self._predicate(left, right):
+                continue
+            self._emit_pair(left, right, newer=tup, older=candidate)
+        self._buffers[input_index].append(tup)
+
+    def _emit_pair(
+        self,
+        left: StreamTuple,
+        right: StreamTuple,
+        newer: StreamTuple,
+        older: StreamTuple,
+    ) -> None:
+        values = self._combiner(left, right)
+        if values is None:
+            return
+        out = StreamTuple(ts=max(left.ts, right.ts), values=values)
+        out.wall = max(left.wall, right.wall)
+        self.provenance.on_join_output(out, newer, older)
+        self.pairs_emitted += 1
+        self.emit(out)
+
+    def on_watermark(self, watermark: float) -> None:
+        if watermark == float("inf"):
+            return
+        horizon = watermark - self.window_size
+        for buffer in self._buffers.values():
+            while buffer and buffer[0].ts < horizon:
+                buffer.popleft()
+
+    def buffered_tuples(self) -> int:
+        """Number of tuples currently held in the join windows."""
+        return len(self._buffers[LEFT]) + len(self._buffers[RIGHT])

@@ -1,0 +1,23 @@
+"""Multiplex operator: copies every input tuple to all output streams.
+
+Each copy is a *new* tuple (section 4.1), so the instrumented Multiplex sets
+the copy's provenance metadata to point back at the input tuple.
+"""
+
+from __future__ import annotations
+
+from repro.spe.operators.base import SingleInputOperator
+from repro.spe.tuples import StreamTuple
+
+
+class MultiplexOperator(SingleInputOperator):
+    """Copies every input tuple to each of its output streams."""
+
+    max_inputs = 1
+    max_outputs = None
+
+    def process_tuple(self, tup: StreamTuple) -> None:
+        for port in range(len(self.outputs)):
+            copy = tup.derive()
+            self.provenance.on_multiplex_output(copy, tup)
+            self.emit(copy, port)

@@ -1,0 +1,73 @@
+"""Send and Receive operators: tuple transport between SPE instances.
+
+From a semantics perspective Send/Receive forward tuples; from an
+implementation perspective they create new memory objects on the receiving
+side because tuples are serialised across the process boundary (section 4.1).
+The provenance manager is consulted on both sides: on Send it contributes the
+payload that must survive serialisation (GeneaLog: tuple type and unique ID),
+on Receive it re-attaches metadata to the freshly created tuple.
+"""
+
+from __future__ import annotations
+
+from repro.spe.channels import Channel
+from repro.spe.operators.base import Operator, SingleInputOperator
+from repro.spe.serialization import deserialize_tuple, serialize_tuple
+from repro.spe.tuples import StreamTuple
+
+
+class SendOperator(SingleInputOperator):
+    """Serialises every input tuple onto a :class:`Channel`."""
+
+    max_inputs = 1
+    max_outputs = 0
+
+    def __init__(self, name: str, channel: Channel) -> None:
+        super().__init__(name)
+        self.channel = channel
+
+    def process_tuple(self, tup: StreamTuple) -> None:
+        payload = self.provenance.on_send(tup)
+        self.channel.send(serialize_tuple(tup, payload))
+        self._progress = True
+
+    def on_watermark(self, watermark: float) -> None:
+        self.channel.advance_watermark(watermark)
+
+    def on_close(self) -> None:
+        self.channel.close()
+
+
+class ReceiveOperator(Operator):
+    """Deserialises tuples from a :class:`Channel` into a local stream."""
+
+    max_inputs = 0
+    max_outputs = 1
+
+    def __init__(self, name: str, channel: Channel) -> None:
+        super().__init__(name)
+        self.channel = channel
+
+    def work(self) -> bool:
+        self._progress = False
+        if not self.outputs:
+            return False
+        while True:
+            payload = self.channel.receive()
+            if payload is None:
+                break
+            tup, provenance_payload = deserialize_tuple(payload)
+            self.tuples_in += 1
+            self.provenance.on_receive(tup, provenance_payload)
+            self.emit(tup)
+        watermark = self.channel.watermark
+        if watermark > self._in_watermark:
+            self._in_watermark = watermark
+            self._advance_outputs(watermark)
+        if self.channel.closed and len(self.channel) == 0 and not self._outputs_closed:
+            self._close_outputs()
+        return self._progress
+
+    @property
+    def finished(self) -> bool:
+        return self._outputs_closed

@@ -1,0 +1,53 @@
+"""The Sink operator: receives the sink tuples produced by the query."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.spe.operators.base import SingleInputOperator
+from repro.spe.tuples import StreamTuple
+
+
+class SinkOperator(SingleInputOperator):
+    """Collects sink tuples and optionally forwards them to a callback.
+
+    The sink records, for every received tuple, the wall-clock instant of its
+    arrival; the difference with the tuple's ``wall`` attribute (the arrival
+    of the latest contributing source tuple) is the per-tuple latency used by
+    the evaluation harness.
+    """
+
+    max_inputs = 1
+    max_outputs = 0
+
+    def __init__(
+        self,
+        name: str,
+        callback: Optional[Callable[[StreamTuple], None]] = None,
+        keep_tuples: bool = True,
+        wall_clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        super().__init__(name)
+        self._callback = callback
+        self._keep_tuples = keep_tuples
+        self._wall_clock = wall_clock
+        self.received: List[StreamTuple] = []
+        self.latencies: List[float] = []
+        self.count = 0
+
+    def process_tuple(self, tup: StreamTuple) -> None:
+        self.count += 1
+        now = self._wall_clock()
+        if tup.wall:
+            self.latencies.append(now - tup.wall)
+        if self._keep_tuples:
+            self.received.append(tup)
+        if self._callback is not None:
+            self._callback(tup)
+
+    def clear(self) -> None:
+        """Drop every collected tuple and latency sample."""
+        self.received.clear()
+        self.latencies.clear()
+        self.count = 0

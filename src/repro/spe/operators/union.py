@@ -1,0 +1,21 @@
+"""Union operator: deterministic timestamp-ordered merge of several streams.
+
+The Union forwards existing tuples (it never creates new ones) so, like the
+Filter, it needs no provenance instrumentation.  Determinism of the merge is
+inherited from :class:`~repro.spe.operators.base.MultiInputOperator`.
+"""
+
+from __future__ import annotations
+
+from repro.spe.operators.base import MultiInputOperator
+from repro.spe.tuples import StreamTuple
+
+
+class UnionOperator(MultiInputOperator):
+    """Merges its timestamp-sorted input streams into one sorted output."""
+
+    max_inputs = None
+    max_outputs = 1
+
+    def process_tuple(self, tup: StreamTuple, input_index: int) -> None:
+        self.emit(tup)

@@ -1,0 +1,130 @@
+"""Distributed runtime: executes several SPE instances connected by channels.
+
+The runtime plays the role of the multi-node deployment in the paper's
+evaluation (three Odroid boards connected by a switch).  Each
+:class:`~repro.spe.instance.SPEInstance` keeps its own scheduler; the runtime
+interleaves passes over all instances until the whole deployment is
+quiescent.  Because every channel is a serialising boundary, this execution
+model exercises exactly the inter-process mechanisms of section 6 (lost
+pointers, ``REMOTE`` tuples, unique IDs, the MU operator) while remaining
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.spe.channels import Channel
+from repro.spe.errors import SchedulingError
+from repro.spe.instance import SPEInstance
+from repro.spe.scheduler import Scheduler
+
+
+class DistributedRuntime:
+    """Coordinates the execution of a set of SPE instances."""
+
+    def __init__(
+        self,
+        instances: List[SPEInstance],
+        max_rounds: int = 10_000_000,
+        round_callback: Optional[Callable[[int], None]] = None,
+        callback_every: int = 16,
+    ) -> None:
+        if not instances:
+            raise SchedulingError("a distributed runtime needs at least one instance")
+        self.instances = list(instances)
+        self.max_rounds = max_rounds
+        self.round_callback = round_callback
+        self.callback_every = max(1, callback_every)
+        self.rounds = 0
+        self._schedulers = [Scheduler(instance) for instance in self.instances]
+        self._assign_ordering_values()
+
+    # -- instance graph ---------------------------------------------------------
+    def _instance_edges(self) -> Dict[SPEInstance, Set[SPEInstance]]:
+        producers: Dict[Channel, SPEInstance] = {}
+        for instance in self.instances:
+            for channel in instance.outgoing_channels():
+                producers[channel] = instance
+        edges: Dict[SPEInstance, Set[SPEInstance]] = {i: set() for i in self.instances}
+        for instance in self.instances:
+            for channel in instance.incoming_channels():
+                producer = producers.get(channel)
+                if producer is not None:
+                    edges[producer].add(instance)
+        return edges
+
+    def _assign_ordering_values(self) -> None:
+        """Compute each instance's ordering value (longest path from a source)."""
+        edges = self._instance_edges()
+        indegree: Dict[SPEInstance, int] = {i: 0 for i in self.instances}
+        for downstream_set in edges.values():
+            for downstream in downstream_set:
+                indegree[downstream] += 1
+        order: List[SPEInstance] = [i for i in self.instances if indegree[i] == 0]
+        values: Dict[SPEInstance, int] = {i: 0 for i in order}
+        queue = list(order)
+        while queue:
+            instance = queue.pop(0)
+            for downstream in edges[instance]:
+                candidate = values[instance] + 1
+                if candidate > values.get(downstream, -1):
+                    values[downstream] = candidate
+                indegree[downstream] -= 1
+                if indegree[downstream] == 0:
+                    queue.append(downstream)
+        if len(values) != len(self.instances):
+            raise SchedulingError("instance graph contains a cycle")
+        for instance in self.instances:
+            instance.ordering_value = values[instance]
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one pass over every instance; return True if anything progressed."""
+        progress = False
+        for scheduler in self._schedulers:
+            if scheduler.step():
+                progress = True
+        self.rounds += 1
+        if self.round_callback is not None and self.rounds % self.callback_every == 0:
+            self.round_callback(self.rounds)
+        return progress
+
+    def run(self) -> int:
+        """Run every instance to quiescence; return the number of rounds."""
+        for instance in self.instances:
+            instance.validate()
+        while self.rounds < self.max_rounds:
+            progress = self.step()
+            if not progress:
+                if self.finished:
+                    return self.rounds
+                raise SchedulingError(
+                    "distributed deployment made no progress before completion"
+                )
+        raise SchedulingError(
+            f"distributed deployment did not finish within {self.max_rounds} rounds"
+        )
+
+    @property
+    def finished(self) -> bool:
+        """True once every instance has finished."""
+        return all(scheduler.finished for scheduler in self._schedulers)
+
+    # -- statistics ----------------------------------------------------------------
+    def channels(self) -> List[Channel]:
+        """Every channel used by the deployment (deduplicated)."""
+        seen: List[Channel] = []
+        for instance in self.instances:
+            for channel in instance.outgoing_channels():
+                if channel not in seen:
+                    seen.append(channel)
+        return seen
+
+    def total_bytes_transferred(self) -> int:
+        """Bytes that crossed any inter-instance channel."""
+        return sum(channel.bytes_sent for channel in self.channels())
+
+    def total_tuples_transferred(self) -> int:
+        """Tuples that crossed any inter-instance channel."""
+        return sum(channel.tuples_sent for channel in self.channels())

@@ -1,0 +1,79 @@
+"""Deterministic single-process scheduler.
+
+One SPE instance is a single process whose threads share memory (section 2).
+For reproducibility this scheduler runs every operator of a query
+cooperatively in topological order, repeatedly, until the query is quiescent
+(all sources exhausted, all streams drained, all windows flushed).  Because
+every operator consumes its inputs in deterministic timestamp-merged order,
+the result of a run is a pure function of the source data regardless of how
+``work`` calls interleave -- the determinism property GeneaLog requires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.spe.errors import SchedulingError
+from repro.spe.operators.base import Operator
+from repro.spe.query import Query
+
+
+class Scheduler:
+    """Runs a :class:`~repro.spe.query.Query` to completion in one process."""
+
+    def __init__(
+        self,
+        query: Query,
+        max_passes: int = 10_000_000,
+        pass_callback: Optional[Callable[[int], None]] = None,
+        callback_every: int = 16,
+    ) -> None:
+        self.query = query
+        self.max_passes = max_passes
+        self.pass_callback = pass_callback
+        self.callback_every = max(1, callback_every)
+        self.passes = 0
+        self._order: Optional[List[Operator]] = None
+
+    def _operators(self) -> List[Operator]:
+        if self._order is None:
+            self.query.validate()
+            self._order = self.query.topological_order()
+        return self._order
+
+    def step(self) -> bool:
+        """Run one pass over every operator; return True if anything progressed."""
+        progress = False
+        for operator in self._operators():
+            if operator.work():
+                progress = True
+        self.passes += 1
+        if self.pass_callback is not None and self.passes % self.callback_every == 0:
+            self.pass_callback(self.passes)
+        return progress
+
+    def run(self) -> int:
+        """Run until quiescence; return the number of passes executed."""
+        while self.passes < self.max_passes:
+            progress = self.step()
+            if not progress and self._quiescent():
+                return self.passes
+            if not progress:
+                # No operator progressed but the query is not finished: the
+                # graph is stuck (e.g. a Receive waiting on a channel that is
+                # fed by another instance).  The caller (DistributedRuntime)
+                # handles that case; a standalone run it is an error.
+                raise SchedulingError(
+                    f"query {self.query.name!r} made no progress before completion"
+                )
+        raise SchedulingError(
+            f"query {self.query.name!r} did not finish within {self.max_passes} passes"
+        )
+
+    def _quiescent(self) -> bool:
+        return all(op.finished for op in self._operators())
+
+    @property
+    def finished(self) -> bool:
+        """True once every operator of the query has finished."""
+        return self._quiescent()

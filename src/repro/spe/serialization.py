@@ -1,0 +1,48 @@
+"""Tuple serialisation used when a tuple crosses a process boundary.
+
+Tuples travelling between SPE instances are turned into a JSON document and
+back.  This is what makes the inter-process case of the paper interesting:
+memory pointers (GeneaLog's ``U1``/``U2``/``N`` meta-attributes) cannot
+survive the boundary, so only the explicitly serialised provenance payload
+(the tuple type and its unique ``ID``, or the baseline's annotation list)
+reaches the other side.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Tuple
+
+from repro.spe.errors import SerializationError
+from repro.spe.tuples import StreamTuple
+
+
+def serialize_tuple(tup: StreamTuple, provenance_payload: Dict[str, Any]) -> str:
+    """Serialise ``tup`` (and its provenance payload) into a JSON string."""
+    document = {
+        "ts": tup.ts,
+        "values": tup.values,
+        "wall": tup.wall,
+        "prov": provenance_payload,
+    }
+    try:
+        return json.dumps(document, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot serialise tuple {tup!r}: {exc}") from exc
+
+
+def deserialize_tuple(data: str) -> Tuple[StreamTuple, Dict[str, Any]]:
+    """Rebuild a tuple (plus its provenance payload) from a JSON string."""
+    try:
+        document = json.loads(data)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot deserialise tuple payload: {exc}") from exc
+    try:
+        tup = StreamTuple(
+            ts=document["ts"],
+            values=document["values"],
+            wall=document.get("wall", 0.0),
+        )
+    except KeyError as exc:
+        raise SerializationError(f"tuple payload missing field {exc}") from exc
+    return tup, document.get("prov", {})

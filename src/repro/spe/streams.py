@@ -1,0 +1,120 @@
+"""Streams: the FIFO channels connecting operators inside one SPE instance.
+
+A :class:`Stream` connects exactly one producer output port to one consumer
+input port.  It transports :class:`~repro.spe.tuples.StreamTuple` elements in
+timestamp order and tracks a *watermark*: the largest timestamp ``w`` such
+that the producer guarantees no future tuple will have ``ts < w``.  Watermarks
+are what allows multi-input operators (Union, Join, the MU unfolder) to merge
+their inputs deterministically and stateful operators to close windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.spe.errors import StreamOrderError
+from repro.spe.tuples import FINAL_WATERMARK, StreamTuple
+
+
+class Stream:
+    """A timestamp-ordered FIFO between two operator ports.
+
+    The producer pushes tuples with :meth:`push` and advances the watermark
+    with :meth:`advance_watermark` (or :meth:`close` once it is done).  The
+    consumer inspects the head with :meth:`peek` and removes it with
+    :meth:`pop`.
+    """
+
+    __slots__ = ("name", "_queue", "_watermark", "_closed", "_last_ts", "enforce_order")
+
+    def __init__(self, name: str = "", enforce_order: bool = True) -> None:
+        self.name = name
+        self._queue: Deque[StreamTuple] = deque()
+        self._watermark: float = float("-inf")
+        self._closed = False
+        self._last_ts: float = float("-inf")
+        self.enforce_order = enforce_order
+
+    # -- producer side -----------------------------------------------------
+    def push(self, element: StreamTuple) -> None:
+        """Append a tuple to the stream.
+
+        Raises
+        ------
+        StreamOrderError
+            If the producer violates the timestamp-sorted contract (only when
+            ``enforce_order`` is True).
+        """
+        if self._closed:
+            raise StreamOrderError(f"stream {self.name!r} is closed")
+        if self.enforce_order and element.ts < self._last_ts:
+            raise StreamOrderError(
+                f"stream {self.name!r} received out-of-order tuple "
+                f"(ts={element.ts} after ts={self._last_ts})"
+            )
+        self._last_ts = max(self._last_ts, element.ts)
+        self._queue.append(element)
+
+    def advance_watermark(self, ts: float) -> None:
+        """Advance the stream watermark (monotone; smaller values ignored)."""
+        if ts > self._watermark:
+            self._watermark = ts
+
+    def close(self) -> None:
+        """Mark the stream as finished; the watermark becomes +infinity."""
+        self._closed = True
+        self._watermark = FINAL_WATERMARK
+
+    # -- consumer side -----------------------------------------------------
+    def peek(self) -> Optional[StreamTuple]:
+        """Return the head tuple without removing it, or None when empty."""
+        return self._queue[0] if self._queue else None
+
+    def pop(self) -> StreamTuple:
+        """Remove and return the head tuple."""
+        return self._queue.popleft()
+
+    def drain(self) -> List[StreamTuple]:
+        """Remove and return every queued tuple."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items
+
+    # -- state inspection ----------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        """Largest timestamp below which no further tuple will arrive."""
+        return self._watermark
+
+    @property
+    def closed(self) -> bool:
+        """True once the producer called :meth:`close`."""
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._queue)
+
+    @property
+    def frontier(self) -> float:
+        """The timestamp bound the consumer may safely process up to.
+
+        This is the head tuple timestamp when the stream is non-empty, and
+        the watermark otherwise.  Multi-input operators use this value to
+        decide which input to pull from next (deterministic merge).
+        """
+        if self._queue:
+            return self._queue[0].ts
+        return self._watermark
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Stream(name={self.name!r}, queued={len(self._queue)}, "
+            f"watermark={self._watermark}, closed={self._closed})"
+        )

@@ -1,0 +1,160 @@
+"""Synthetic vehicular workload standing in for the Linear Road benchmark.
+
+The paper's Q1/Q2 consume Linear Road position reports: every car on a
+(linear) highway emits a report every 30 seconds with its identity, speed and
+position.  A car is *stopped* when at least four consecutive reports carry
+zero speed and the same position (Q1); an *accident* happens when at least
+two cars are stopped at the same position in the same time window (Q2).
+
+The generator below produces exactly that traffic shape with controllable
+rates of breakdown and accident episodes, deterministically from a seed, so
+experiments are repeatable.  Positions are reported as discrete segment
+indices (the benchmark reports positions through several attributes; the
+paper itself collapses them into a single ``pos`` attribute for clarity, and
+so do we).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.spe.tuples import StreamTuple
+
+
+@dataclass
+class LinearRoadConfig:
+    """Parameters of the synthetic Linear Road workload."""
+
+    #: number of cars travelling on the highway.
+    n_cars: int = 50
+    #: total simulated duration in seconds.
+    duration_s: float = 1800.0
+    #: interval between two position reports of the same car (seconds).
+    report_interval_s: float = 30.0
+    #: length of one highway segment (metres); positions are segment indices.
+    segment_length_m: float = 100.0
+    #: length of the highway in segments (positions wrap around).
+    n_segments: int = 1000
+    #: probability that a moving car breaks down at a given report.
+    breakdown_probability: float = 0.01
+    #: number of consecutive zero-speed reports a broken-down car emits.
+    breakdown_reports: int = 5
+    #: probability that a breakdown involves a second car (an accident).
+    accident_probability: float = 0.3
+    #: lowest and highest cruising speeds (metres / second).
+    min_speed_mps: float = 15.0
+    max_speed_mps: float = 35.0
+    #: seed making the workload deterministic.
+    seed: int = 42
+
+    @property
+    def reports_per_car(self) -> int:
+        """Number of reports each car emits during the simulation."""
+        return int(self.duration_s // self.report_interval_s)
+
+    @property
+    def total_reports(self) -> int:
+        """Total number of source tuples the generator produces."""
+        return self.reports_per_car * self.n_cars
+
+
+class _CarState:
+    """Mutable per-car simulation state."""
+
+    __slots__ = ("car_id", "position_m", "speed", "stopped_reports_left", "stopped_segment")
+
+    def __init__(self, car_id: str, position_m: float, speed: float) -> None:
+        self.car_id = car_id
+        self.position_m = position_m
+        self.speed = speed
+        self.stopped_reports_left = 0
+        self.stopped_segment: int = 0
+
+
+class LinearRoadGenerator:
+    """Generates timestamp-sorted position reports ``<ts, car_id, speed, pos>``."""
+
+    def __init__(self, config: LinearRoadConfig) -> None:
+        self.config = config
+
+    def tuples(self) -> Iterator[StreamTuple]:
+        """Yield every position report of the simulation in timestamp order."""
+        config = self.config
+        rng = random.Random(config.seed)
+        cars = self._initial_cars(rng)
+        for round_index in range(config.reports_per_car):
+            ts = round_index * config.report_interval_s
+            self._maybe_start_breakdowns(cars, rng)
+            for car in cars:
+                yield self._report(car, ts)
+                self._advance(car, rng)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return self.tuples()
+
+    # -- simulation internals -------------------------------------------------
+    def _initial_cars(self, rng: random.Random) -> List[_CarState]:
+        config = self.config
+        cars = []
+        for index in range(config.n_cars):
+            position = rng.uniform(0, config.n_segments * config.segment_length_m)
+            speed = rng.uniform(config.min_speed_mps, config.max_speed_mps)
+            cars.append(_CarState(f"car{index}", position, speed))
+        return cars
+
+    def _maybe_start_breakdowns(self, cars: List[_CarState], rng: random.Random) -> None:
+        config = self.config
+        for index, car in enumerate(cars):
+            if car.stopped_reports_left > 0:
+                continue
+            if rng.random() >= config.breakdown_probability:
+                continue
+            segment = self._segment(car.position_m)
+            self._stop(car, segment)
+            if rng.random() < config.accident_probability:
+                partner = self._pick_moving_partner(cars, index)
+                if partner is not None:
+                    partner.position_m = car.position_m
+                    self._stop(partner, segment)
+
+    def _pick_moving_partner(self, cars: List[_CarState], excluded: int) -> _CarState:
+        for offset in range(1, len(cars)):
+            candidate = cars[(excluded + offset) % len(cars)]
+            if candidate.stopped_reports_left == 0:
+                return candidate
+        return None
+
+    def _stop(self, car: _CarState, segment: int) -> None:
+        car.stopped_reports_left = self.config.breakdown_reports
+        car.stopped_segment = segment
+        car.speed = 0.0
+
+    def _segment(self, position_m: float) -> int:
+        config = self.config
+        return int(position_m // config.segment_length_m) % config.n_segments
+
+    def _report(self, car: _CarState, ts: float) -> StreamTuple:
+        if car.stopped_reports_left > 0:
+            speed = 0.0
+            segment = car.stopped_segment
+        else:
+            speed = car.speed
+            segment = self._segment(car.position_m)
+        return StreamTuple(
+            ts=ts,
+            values={"car_id": car.car_id, "speed": speed, "pos": segment},
+        )
+
+    def _advance(self, car: _CarState, rng: random.Random) -> None:
+        config = self.config
+        if car.stopped_reports_left > 0:
+            car.stopped_reports_left -= 1
+            if car.stopped_reports_left == 0:
+                car.speed = rng.uniform(config.min_speed_mps, config.max_speed_mps)
+            return
+        car.position_m += car.speed * config.report_interval_s
+        highway_length = config.n_segments * config.segment_length_m
+        if car.position_m >= highway_length:
+            car.position_m -= highway_length

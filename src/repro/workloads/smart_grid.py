@@ -1,0 +1,133 @@
+"""Synthetic smart-grid workload standing in for the real metering traces.
+
+The paper's Q3/Q4 consume hourly smart-meter measurements
+``<ts, meter_id, cons>``:
+
+* Q3 (long-term blackout) raises an alert when more than seven meters report
+  zero consumption for a whole day;
+* Q4 (anomaly detection) raises an alert when the measurement taken right at
+  midnight is suspiciously high compared to the previous day's total
+  consumption (a meter "catching up" on unreported consumption).
+
+The generator produces both kinds of episodes at configurable rates,
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Set
+
+from repro.spe.tuples import StreamTuple
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+@dataclass
+class SmartGridConfig:
+    """Parameters of the synthetic smart-grid workload."""
+
+    #: number of smart meters reporting.
+    n_meters: int = 40
+    #: number of simulated days.
+    n_days: int = 4
+    #: baseline hourly consumption (arbitrary energy units).
+    base_consumption: float = 1.0
+    #: random jitter applied to the baseline consumption.
+    consumption_jitter: float = 0.3
+    #: probability that a given day is a blackout day (triggers Q3).
+    blackout_day_probability: float = 0.5
+    #: number of meters affected by a blackout day (> 7 raises the Q3 alert).
+    blackout_meter_count: int = 8
+    #: probability that a meter reports an anomalous midnight value on a
+    #: given day (triggers Q4).
+    anomaly_probability: float = 0.05
+    #: consumption reported at midnight during an anomaly episode.
+    anomaly_consumption: float = 300.0
+    #: seed making the workload deterministic.
+    seed: int = 7
+
+    @property
+    def total_reports(self) -> int:
+        """Total number of source tuples the generator produces."""
+        return self.n_meters * self.n_days * 24
+
+
+class SmartGridGenerator:
+    """Generates timestamp-sorted hourly measurements ``<ts, meter_id, cons>``."""
+
+    def __init__(self, config: SmartGridConfig) -> None:
+        self.config = config
+
+    def tuples(self) -> Iterator[StreamTuple]:
+        """Yield every measurement of the simulation in timestamp order."""
+        config = self.config
+        rng = random.Random(config.seed)
+        plan = _EpisodePlan.build(config, rng)
+        for day in range(config.n_days):
+            blackout_meters = plan.blackout_meters_by_day[day]
+            anomalous_meters = plan.anomalous_meters_by_day[day]
+            for hour in range(24):
+                ts = day * SECONDS_PER_DAY + hour * SECONDS_PER_HOUR
+                for meter_index in range(config.n_meters):
+                    consumption = self._consumption(
+                        rng,
+                        meter_index=meter_index,
+                        hour=hour,
+                        blackout=meter_index in blackout_meters,
+                        anomalous=meter_index in anomalous_meters,
+                    )
+                    yield StreamTuple(
+                        ts=ts,
+                        values={
+                            "meter_id": f"m{meter_index}",
+                            "cons": consumption,
+                        },
+                    )
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return self.tuples()
+
+    def _consumption(
+        self,
+        rng: random.Random,
+        meter_index: int,
+        hour: int,
+        blackout: bool,
+        anomalous: bool,
+    ) -> float:
+        config = self.config
+        if anomalous and hour == 0:
+            return config.anomaly_consumption
+        if blackout:
+            return 0.0
+        jitter = rng.uniform(-config.consumption_jitter, config.consumption_jitter)
+        return max(0.01, config.base_consumption + jitter)
+
+
+@dataclass
+class _EpisodePlan:
+    """Pre-computed blackout and anomaly episodes, one entry per day."""
+
+    blackout_meters_by_day: List[Set[int]] = field(default_factory=list)
+    anomalous_meters_by_day: List[Set[int]] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, config: SmartGridConfig, rng: random.Random) -> "_EpisodePlan":
+        plan = cls()
+        meters = list(range(config.n_meters))
+        for day in range(config.n_days):
+            if rng.random() < config.blackout_day_probability and day + 1 < config.n_days:
+                affected = set(rng.sample(meters, min(config.blackout_meter_count, len(meters))))
+            else:
+                affected = set()
+            plan.blackout_meters_by_day.append(affected)
+            anomalous = {
+                meter
+                for meter in meters
+                if day > 0 and rng.random() < config.anomaly_probability
+            }
+            plan.anomalous_meters_by_day.append(anomalous)
+        return plan

@@ -1,0 +1,80 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples are part of the public deliverable (README points users at
+them), so they are executed here with small parameters and their output is
+checked for the key pieces of information they promise to show.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(capsys, monkeypatch, script, argv=()):
+    monkeypatch.setattr(sys, "argv", [str(script), *argv])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        scripts = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 4
+
+    def test_quickstart(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "quickstart.py")
+        assert "08:00:00  car=a  count=4  dist_pos=1" in out
+        assert "4 source tuples" in out
+        assert "08:01:31" in out
+
+    def test_vehicular_accidents(self, capsys, monkeypatch):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "vehicular_accidents.py",
+            ["--cars", "12", "--minutes", "20", "--seed", "5"],
+        )
+        assert "accident alert(s) raised" in out
+
+    def test_smart_grid_monitoring(self, capsys, monkeypatch):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "smart_grid_monitoring.py",
+            ["--meters", "12", "--days", "3", "--seed", "3"],
+        )
+        assert "Q3 - long-term blackout detection" in out
+        assert "Q4 - anomaly detection" in out
+
+    def test_distributed_edge_deployment(self, capsys, monkeypatch):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "distributed_edge_deployment.py",
+            ["--cars", "10", "--minutes", "20"],
+        )
+        assert "spe1 (source instance)" in out
+        assert "provenance_node" in out
+        assert "Provenance records collected at the provenance node" in out
+
+    @pytest.mark.parametrize("technique", ["NP", "BL"])
+    def test_distributed_edge_deployment_other_techniques(
+        self, capsys, monkeypatch, technique
+    ):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "distributed_edge_deployment.py",
+            ["--cars", "8", "--minutes", "15", "--technique", technique],
+        )
+        assert "Execution summary:" in out
+
+    def test_custom_query_provenance(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "custom_query_provenance.py")
+        assert "maintenance alert(s) raised" in out
+        assert "traced back to" in out

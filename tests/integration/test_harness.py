@@ -1,0 +1,120 @@
+"""Integration tests for the experiment harness and figure generators."""
+
+import pytest
+
+from repro.core.provenance import ProvenanceMode
+from repro.experiments.config import ExperimentCell, WorkloadScale
+from repro.experiments.figures import figure12, figure13, figure14, main
+from repro.experiments.harness import (
+    make_supplier,
+    run_cell,
+    run_inter_process,
+    run_intra_process,
+)
+from repro.workloads.linear_road import LinearRoadConfig
+from repro.workloads.smart_grid import SmartGridConfig
+
+
+class TestSuppliers:
+    def test_linear_road_supplier(self):
+        supplier = make_supplier(LinearRoadConfig(n_cars=2, duration_s=120))
+        assert len(list(supplier())) == 8
+
+    def test_smart_grid_supplier(self):
+        supplier = make_supplier(SmartGridConfig(n_meters=2, n_days=1))
+        assert len(list(supplier())) == 48
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(TypeError):
+            make_supplier(object())
+
+
+class TestIntraProcessRuns:
+    def test_collects_all_metrics(self):
+        metrics = run_intra_process("q1", ProvenanceMode.GENEALOG, scale=WorkloadScale.SMOKE)
+        assert metrics.query == "q1"
+        assert metrics.technique == "GL"
+        assert metrics.deployment == "intra"
+        assert metrics.source_tuples > 0
+        assert metrics.sink_tuples > 0
+        assert metrics.wall_time_s > 0
+        assert metrics.throughput_tps > 0
+        assert len(metrics.latencies_s) == metrics.sink_tuples
+        assert metrics.memory_peak_bytes > 0
+        assert metrics.traversal_times_s
+        assert metrics.provenance_sizes
+        assert metrics.average_provenance_size == pytest.approx(4.0)
+
+    def test_np_has_no_provenance_artifacts(self):
+        metrics = run_intra_process("q1", ProvenanceMode.NONE, scale=WorkloadScale.SMOKE)
+        assert metrics.traversal_times_s == []
+        assert metrics.provenance_sizes == []
+
+
+class TestInterProcessRuns:
+    def test_collects_distributed_metrics(self):
+        metrics = run_inter_process("q1", ProvenanceMode.GENEALOG, scale=WorkloadScale.SMOKE)
+        assert metrics.deployment == "inter"
+        assert metrics.bytes_transferred > 0
+        assert metrics.tuples_transferred > 0
+        assert set(metrics.per_instance_traversal_s) == {"spe1", "spe2"}
+        assert metrics.provenance_sizes
+
+    def test_np_distributed_run(self):
+        metrics = run_inter_process("q3", ProvenanceMode.NONE, scale=WorkloadScale.SMOKE)
+        assert metrics.sink_tuples > 0
+        assert metrics.per_instance_traversal_s == {}
+
+
+class TestRunCell:
+    def test_single_repetition(self):
+        cell = ExperimentCell(
+            query="q1", mode=ProvenanceMode.NONE, deployment="intra", scale=WorkloadScale.SMOKE
+        )
+        metrics = run_cell(cell)
+        assert metrics.source_tuples > 0
+
+    def test_repetitions_are_merged(self):
+        cell = ExperimentCell(
+            query="q1",
+            mode=ProvenanceMode.GENEALOG,
+            deployment="intra",
+            scale=WorkloadScale.SMOKE,
+            repetitions=2,
+        )
+        single = run_cell(
+            ExperimentCell(
+                query="q1",
+                mode=ProvenanceMode.GENEALOG,
+                deployment="intra",
+                scale=WorkloadScale.SMOKE,
+            )
+        )
+        merged = run_cell(cell)
+        assert len(merged.provenance_sizes) == 2 * len(single.provenance_sizes)
+
+
+class TestFigures:
+    def test_figure12_produces_all_cells(self):
+        result = figure12(scale=WorkloadScale.SMOKE)
+        assert len(result.cells) == 12  # 4 queries x 3 techniques
+        assert "q1/GL" in result.cells
+        assert "Figure 12" in result.text
+        assert result.cell("q1", ProvenanceMode.GENEALOG) is not None
+
+    def test_figure13_produces_all_cells(self):
+        result = figure13(scale=WorkloadScale.SMOKE)
+        assert len(result.cells) == 12
+        assert all(metrics.deployment == "inter" for metrics in result.cells.values())
+
+    def test_figure14_reports_traversal_times(self):
+        result = figure14(scale=WorkloadScale.SMOKE)
+        assert "intra/q1/GL" in result.cells
+        assert "inter/q1/GL" in result.cells
+        assert "traversal" in result.text.lower()
+
+    def test_cli_smoke(self, capsys):
+        exit_code = main(["fig12", "--scale", "smoke"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Figure 12" in captured.out

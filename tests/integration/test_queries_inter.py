@@ -1,0 +1,160 @@
+"""Integration tests for the three-instance (inter-process) deployments.
+
+The key property (Theorem 6.5): the provenance collected at the provenance
+node of the distributed deployment must be exactly the provenance collected
+intra-process for the same query and input.
+"""
+
+import pytest
+
+from repro.core.provenance import ProvenanceMode
+from repro.core.types import TupleType
+from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+from repro.workloads.queries import build_distributed_query, build_query
+from repro.workloads.smart_grid import SmartGridConfig, SmartGridGenerator
+from tests.conftest import record_index, run_distributed, run_query
+
+LINEAR_ROAD = LinearRoadConfig(
+    n_cars=10, duration_s=1200.0, breakdown_probability=0.06, accident_probability=0.7, seed=31
+)
+SMART_GRID = SmartGridConfig(
+    n_meters=10,
+    n_days=3,
+    blackout_day_probability=1.0,
+    blackout_meter_count=8,
+    anomaly_probability=0.25,
+    seed=33,
+)
+
+ALL_QUERIES = ("q1", "q2", "q3", "q4")
+
+
+def workload_for(query_name):
+    if query_name in ("q1", "q2"):
+        return LinearRoadGenerator(LINEAR_ROAD).tuples
+    return SmartGridGenerator(SMART_GRID).tuples
+
+
+def run_inter(query_name, mode, fused=True):
+    bundle = build_distributed_query(query_name, workload_for(query_name), mode=mode, fused=fused)
+    run_distributed(bundle)
+    return bundle
+
+
+def run_intra(query_name, mode):
+    bundle = build_query(query_name, workload_for(query_name), mode=mode)
+    run_query(bundle)
+    return bundle
+
+
+class TestDeploymentStructure:
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    def test_np_uses_two_instances(self, query_name):
+        bundle = build_distributed_query(query_name, workload_for(query_name), mode=ProvenanceMode.NONE)
+        assert len(bundle.instances) == 2
+
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    @pytest.mark.parametrize("mode", [ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE], ids=["GL", "BL"])
+    def test_provenance_adds_a_third_instance(self, query_name, mode):
+        bundle = build_distributed_query(query_name, workload_for(query_name), mode=mode)
+        assert len(bundle.instances) == 3
+        assert bundle.instances[-1].name == "provenance_node"
+
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    def test_instances_communicate_only_through_send_receive(self, query_name):
+        bundle = build_distributed_query(
+            query_name, workload_for(query_name), mode=ProvenanceMode.GENEALOG
+        )
+        for instance in bundle.instances:
+            for op in instance.operators:
+                for stream in op.outputs:
+                    # every stream stays inside one instance
+                    assert stream in instance.streams
+        sends = sum(len(instance.sends()) for instance in bundle.instances)
+        receives = sum(len(instance.receives()) for instance in bundle.instances)
+        assert sends == receives
+        assert sends == len(bundle.channels)
+
+    def test_ordering_values(self):
+        bundle = run_inter("q1", ProvenanceMode.GENEALOG)
+        values = {instance.name: instance.ordering_value for instance in bundle.instances}
+        assert values["spe1"] == 0
+        assert values["spe2"] == 1
+        assert values["provenance_node"] == 2
+
+
+class TestDistributedResults:
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    @pytest.mark.parametrize(
+        "mode", list(ProvenanceMode), ids=[m.label for m in ProvenanceMode]
+    )
+    def test_sink_output_matches_the_intra_process_run(self, query_name, mode):
+        intra = run_intra(query_name, ProvenanceMode.NONE)
+        inter = run_inter(query_name, mode)
+        assert [(t.ts, dict(t.values)) for t in inter.sink.received] == [
+            (t.ts, dict(t.values)) for t in intra.sink.received
+        ]
+
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    @pytest.mark.parametrize(
+        "mode", [ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE], ids=["GL", "BL"]
+    )
+    def test_distributed_provenance_equals_intra_process_provenance(self, query_name, mode):
+        intra = run_intra(query_name, mode)
+        inter = run_inter(query_name, mode)
+        intra_records = record_index(intra.capture.records())
+        inter_records = record_index(inter.provenance_records())
+        assert intra_records == inter_records
+
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    def test_composed_mu_and_su_match_the_fused_implementations(self, query_name):
+        fused = run_inter(query_name, ProvenanceMode.GENEALOG, fused=True)
+        composed = run_inter(query_name, ProvenanceMode.GENEALOG, fused=False)
+        assert record_index(fused.provenance_records()) == record_index(
+            composed.provenance_records()
+        )
+
+
+class TestInterProcessMechanics:
+    def test_remote_tuples_appear_at_the_second_instance(self):
+        bundle = run_inter("q1", ProvenanceMode.GENEALOG)
+        spe2 = next(i for i in bundle.instances if i.name == "spe2")
+        receive = spe2.receives()[0]
+        # every tuple that crossed the boundary must have been re-typed.
+        assert receive.tuples_in > 0
+        sink_records = bundle.provenance_records()
+        assert sink_records
+        for record in sink_records:
+            assert all(entry["type_o"] == TupleType.SOURCE.value for entry in record.sources)
+
+    def test_traversal_happens_on_both_processing_instances(self):
+        bundle = run_inter("q1", ProvenanceMode.GENEALOG)
+        times = bundle.traversal_times_by_instance()
+        assert set(times) == {"spe1", "spe2"}
+        assert all(samples for samples in times.values())
+
+    def test_baseline_ships_the_whole_source_stream(self):
+        baseline = run_inter("q1", ProvenanceMode.BASELINE)
+        source_count = baseline.source.tuples_out
+        baseline_sources_channel = next(
+            channel for channel in baseline.channels if "sources" in channel.name
+        )
+        # The baseline has no choice: every source tuple crosses the network,
+        # contributing or not (the paper's main criticism of BL).
+        assert baseline_sources_channel.tuples_sent == source_count
+
+    def test_genealog_ships_only_candidate_provenance(self):
+        genealog = run_inter("q1", ProvenanceMode.GENEALOG)
+        source_count = genealog.source.tuples_out
+        upstream_channel = next(
+            channel for channel in genealog.channels if "upstream" in channel.name
+        )
+        # GeneaLog forwards provenance data only for tuples that survive the
+        # first Filter (zero-speed reports), which is a strict subset of the
+        # source stream.
+        assert 0 < upstream_channel.tuples_sent < source_count
+
+    def test_channels_report_traffic(self):
+        bundle = run_inter("q1", ProvenanceMode.GENEALOG)
+        assert all(channel.bytes_sent > 0 for channel in bundle.channels)
+        assert all(channel.closed for channel in bundle.channels)

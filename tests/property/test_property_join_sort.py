@@ -1,0 +1,108 @@
+"""Property-based tests for the Join and Sort operators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spe.operators.join import JoinOperator
+from repro.spe.operators.sort import SortOperator
+from repro.spe.streams import Stream
+from repro.spe.tuples import StreamTuple
+
+
+def run_join(left_tuples, right_tuples, window_size):
+    """Run a key-equality join and return the set of (left ts, right ts) pairs."""
+    join = JoinOperator(
+        "join",
+        window_size=window_size,
+        predicate=lambda left, right: left["k"] == right["k"],
+        combiner=lambda left, right: {"lts": left.ts, "rts": right.ts},
+    )
+    left_stream, right_stream, out = Stream("l"), Stream("r"), Stream("o")
+    join.add_input(left_stream)
+    join.add_input(right_stream)
+    join.add_output(out)
+    for ts, key in left_tuples:
+        left_stream.push(StreamTuple(ts=ts, values={"k": key}))
+    for ts, key in right_tuples:
+        right_stream.push(StreamTuple(ts=ts, values={"k": key}))
+    left_stream.close()
+    right_stream.close()
+    while join.work():
+        pass
+    return {(t["lts"], t["rts"]) for t in out.drain()}
+
+
+def brute_force_join(left_tuples, right_tuples, window_size):
+    return {
+        (lts, rts)
+        for lts, lk in left_tuples
+        for rts, rk in right_tuples
+        if lk == rk and abs(lts - rts) <= window_size
+    }
+
+
+keyed_stream = st.lists(
+    st.tuples(st.integers(0, 60), st.sampled_from("abc")), max_size=15
+).map(sorted)
+
+
+class TestJoinProperties:
+    @given(keyed_stream, keyed_stream, st.integers(0, 30))
+    @settings(max_examples=120, deadline=None)
+    def test_join_matches_brute_force(self, left, right, window_size):
+        assert run_join(left, right, window_size) == brute_force_join(
+            left, right, window_size
+        )
+
+    @given(keyed_stream, keyed_stream, st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_join_is_symmetric_in_pair_count(self, left, right, window_size):
+        forward = run_join(left, right, window_size)
+        backward = run_join(right, left, window_size)
+        assert {(r, l) for (l, r) in backward} == forward
+
+
+class TestSortProperties:
+    @given(
+        st.lists(st.integers(0, 100), max_size=40),
+        st.integers(0, 120),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_sort_with_sufficient_slack_emits_sorted_stream(self, timestamps, extra_slack):
+        # With slack at least as large as the actual disorder, the operator
+        # must emit every tuple, in timestamp order.
+        disorder = 0
+        highest = float("-inf")
+        for ts in timestamps:
+            highest = max(highest, ts)
+            disorder = max(disorder, highest - ts)
+        sort = SortOperator("sort", slack=disorder + extra_slack)
+        inp = Stream("in", enforce_order=False)
+        out = Stream("out")
+        sort.add_input(inp)
+        sort.add_output(out)
+        for ts in timestamps:
+            inp.push(StreamTuple(ts=ts, values={}))
+        inp.close()
+        while sort.work():
+            pass
+        released = [t.ts for t in out.drain()]
+        assert released == sorted(timestamps)
+        assert sort.violations == 0
+
+    @given(st.lists(st.integers(0, 100), max_size=40), st.integers(0, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_sort_output_is_always_sorted_even_when_dropping(self, timestamps, slack):
+        sort = SortOperator("sort", slack=slack, drop_violations=True)
+        inp = Stream("in", enforce_order=False)
+        out = Stream("out")
+        sort.add_input(inp)
+        sort.add_output(out)
+        for ts in timestamps:
+            inp.push(StreamTuple(ts=ts, values={}))
+        inp.close()
+        while sort.work():
+            pass
+        released = [t.ts for t in out.drain()]
+        assert released == sorted(released)
+        assert len(released) + sort.violations == len(timestamps)

@@ -1,0 +1,84 @@
+"""Property-based, end-to-end provenance tests.
+
+For randomly generated (but bounded-size) vehicular workloads and query
+parameters, the following must always hold:
+
+* the query output is identical under NP, GL and BL,
+* GeneaLog and the baseline report exactly the same provenance,
+* the distributed deployment reports exactly the same provenance as the
+  single-process one (Theorem 6.5),
+* every reported source tuple is genuinely contributing: it belongs to the
+  alerting car and lies inside the alert's window.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.provenance import ProvenanceMode
+from repro.spe.runtime import DistributedRuntime
+from repro.spe.scheduler import Scheduler
+from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+from repro.workloads.queries import build_distributed_query, build_query
+from tests.conftest import record_index
+
+workload_configs = st.builds(
+    LinearRoadConfig,
+    n_cars=st.integers(3, 10),
+    duration_s=st.sampled_from([600.0, 900.0, 1200.0]),
+    breakdown_probability=st.sampled_from([0.02, 0.05, 0.1]),
+    accident_probability=st.sampled_from([0.0, 0.5, 1.0]),
+    seed=st.integers(0, 10_000),
+)
+
+
+def run_intra(config, mode):
+    bundle = build_query("q1", LinearRoadGenerator(config).tuples, mode=mode)
+    Scheduler(bundle.query).run()
+    return bundle
+
+
+def run_inter(config, mode):
+    bundle = build_distributed_query("q1", LinearRoadGenerator(config).tuples, mode=mode)
+    DistributedRuntime(bundle.instances).run()
+    return bundle
+
+
+class TestProvenanceProperties:
+    @given(workload_configs)
+    @settings(max_examples=15, deadline=None)
+    def test_outputs_agree_across_techniques(self, config):
+        outputs = {}
+        for mode in ProvenanceMode:
+            bundle = run_intra(config, mode)
+            outputs[mode] = [(t.ts, dict(t.values)) for t in bundle.sink.received]
+        assert outputs[ProvenanceMode.NONE] == outputs[ProvenanceMode.GENEALOG]
+        assert outputs[ProvenanceMode.NONE] == outputs[ProvenanceMode.BASELINE]
+
+    @given(workload_configs)
+    @settings(max_examples=15, deadline=None)
+    def test_genealog_equals_baseline_equals_distributed(self, config):
+        genealog = run_intra(config, ProvenanceMode.GENEALOG)
+        baseline = run_intra(config, ProvenanceMode.BASELINE)
+        distributed = run_inter(config, ProvenanceMode.GENEALOG)
+        intra_index = record_index(genealog.capture.records())
+        assert intra_index == record_index(baseline.capture.records())
+        assert intra_index == record_index(distributed.provenance_records())
+
+    @given(workload_configs)
+    @settings(max_examples=15, deadline=None)
+    def test_reported_sources_are_plausible_contributors(self, config):
+        bundle = run_intra(config, ProvenanceMode.GENEALOG)
+        for record in bundle.capture.records():
+            car = record.sink_values["car_id"]
+            window_start = record.sink_ts
+            assert record.source_count == record.sink_values["count"]
+            for entry in record.sources:
+                assert entry["car_id"] == car
+                assert entry["speed"] == 0
+                assert window_start <= entry["ts_o"] < window_start + 120.0
+
+    @given(workload_configs)
+    @settings(max_examples=10, deadline=None)
+    def test_one_record_per_sink_tuple(self, config):
+        bundle = run_intra(config, ProvenanceMode.GENEALOG)
+        assert len(bundle.capture.records()) == bundle.sink.count

@@ -1,0 +1,96 @@
+"""Property-based tests for the contribution-graph traversal.
+
+Random derivation trees are built through the GeneaLog instrumentation hooks
+while independently tracking which source tuples were used; the traversal of
+Listing 1 must return exactly that set, for any shape of derivation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instrumentation import GeneaLogProvenance
+from repro.core.traversal import find_provenance, provenance_depth
+from repro.spe.tuples import StreamTuple
+
+
+def build_random_derivation(draw, manager, depth):
+    """Recursively build a derived tuple; return (tuple, set of leaf ids)."""
+    node_kind = draw(
+        st.sampled_from(["source"] if depth == 0 else ["source", "map", "multiplex", "join", "aggregate"])
+    )
+    if node_kind == "source":
+        leaf = StreamTuple(ts=draw(st.integers(0, 1000)), values={"v": draw(st.integers())})
+        manager.on_source_output(leaf)
+        return leaf, {id(leaf)}
+
+    if node_kind in ("map", "multiplex"):
+        child, leaves = build_random_derivation(draw, manager, depth - 1)
+        out = StreamTuple(ts=child.ts, values={"derived": True})
+        if node_kind == "map":
+            manager.on_map_output(out, child)
+        else:
+            manager.on_multiplex_output(out, child)
+        return out, leaves
+
+    if node_kind == "join":
+        left, left_leaves = build_random_derivation(draw, manager, depth - 1)
+        right, right_leaves = build_random_derivation(draw, manager, depth - 1)
+        out = StreamTuple(ts=max(left.ts, right.ts), values={"joined": True})
+        newer, older = (left, right) if left.ts >= right.ts else (right, left)
+        manager.on_join_output(out, newer, older)
+        return out, left_leaves | right_leaves
+
+    # aggregate
+    window_size = draw(st.integers(1, 4))
+    window = []
+    leaves = set()
+    for _ in range(window_size):
+        child, child_leaves = build_random_derivation(draw, manager, depth - 1)
+        window.append(child)
+        leaves |= child_leaves
+    window.sort(key=lambda t: t.ts)
+    out = StreamTuple(ts=window[0].ts, values={"aggregated": True})
+    manager.on_aggregate_output(out, window)
+    return out, leaves
+
+
+@st.composite
+def derivations(draw):
+    manager = GeneaLogProvenance(node_id="prop")
+    depth = draw(st.integers(0, 4))
+    root, leaves = build_random_derivation(draw, manager, depth)
+    return root, leaves
+
+
+class TestTraversalProperties:
+    @given(derivations())
+    @settings(max_examples=150, deadline=None)
+    def test_traversal_finds_exactly_the_contributing_sources(self, derivation):
+        root, expected_leaf_ids = derivation
+        found = find_provenance(root)
+        assert {id(tup) for tup in found} == expected_leaf_ids
+
+    @given(derivations())
+    @settings(max_examples=100, deadline=None)
+    def test_traversal_never_returns_duplicates(self, derivation):
+        root, _ = derivation
+        found = find_provenance(root)
+        assert len(found) == len({id(tup) for tup in found})
+
+    @given(derivations())
+    @settings(max_examples=100, deadline=None)
+    def test_traversal_is_idempotent(self, derivation):
+        # Traversing twice (e.g. an SU before a Send and again at a Sink) must
+        # not change the result: the traversal only reads the metadata.
+        root, _ = derivation
+        first = find_provenance(root)
+        second = find_provenance(root)
+        assert first == second
+
+    @given(derivations())
+    @settings(max_examples=100, deadline=None)
+    def test_depth_is_zero_only_for_leaves(self, derivation):
+        root, expected_leaf_ids = derivation
+        depth = provenance_depth(root)
+        if depth == 0:
+            assert {id(root)} == expected_leaf_ids

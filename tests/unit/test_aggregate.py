@@ -1,0 +1,178 @@
+"""Unit tests for the windowed Aggregate operator."""
+
+import pytest
+
+from repro.spe.errors import QueryValidationError
+from repro.spe.operators import AggregateOperator, WindowSpec
+from tests.optest import collect, feed, run_operator, tup, wire
+
+
+def count_aggregate(window, key):
+    return {"key": key, "count": len(window), "sum": sum(t["v"] for t in window)}
+
+
+class TestWindowSpec:
+    def test_defaults_to_tumbling(self):
+        spec = WindowSpec(size=10)
+        assert spec.advance == 10
+        assert spec.emit_at == "start"
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(QueryValidationError):
+            WindowSpec(size=0)
+        with pytest.raises(QueryValidationError):
+            WindowSpec(size=10, advance=0)
+        with pytest.raises(QueryValidationError):
+            WindowSpec(size=10, advance=20)
+        with pytest.raises(QueryValidationError):
+            WindowSpec(size=10, emit_at="middle")
+
+    def test_first_window_start_is_aligned(self):
+        spec = WindowSpec(size=120, advance=30)
+        # the earliest window containing ts=100 starts at 0 (covers [0, 120)).
+        assert spec.first_window_start(100) == 0
+        # the earliest window containing ts=130 starts at 30.
+        assert spec.first_window_start(130) == 30
+
+    def test_aligned_start_at_or_before(self):
+        spec = WindowSpec(size=120, advance=30)
+        assert spec.aligned_start_at_or_before(100) == 90
+        assert spec.aligned_start_at_or_before(90) == 90
+
+
+class TestTumblingWindows:
+    def test_counts_per_window(self):
+        op = AggregateOperator("agg", WindowSpec(size=10), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1), tup(2, v=2), tup(11, v=3), tup(12, v=4)], close=True)
+        run_operator(op)
+        results = collect(out)
+        assert [(t.ts, t["count"], t["sum"]) for t in results] == [(0, 2, 3), (10, 2, 7)]
+
+    def test_empty_windows_produce_no_output(self):
+        op = AggregateOperator("agg", WindowSpec(size=10), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1), tup(55, v=2)], close=True)
+        run_operator(op)
+        assert [t.ts for t in collect(out)] == [0, 50]
+
+    def test_flush_happens_only_after_watermark_passes_window_end(self):
+        op = AggregateOperator("agg", WindowSpec(size=10), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1)], watermark=5)
+        run_operator(op)
+        assert len(out) == 0
+        feed(inp, [], watermark=10)
+        run_operator(op)
+        assert len(collect(out)) == 1
+
+    def test_aggregate_function_can_suppress_output(self):
+        op = AggregateOperator(
+            "agg",
+            WindowSpec(size=10),
+            lambda window, key: None if len(window) < 2 else {"count": len(window)},
+        )
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1), tup(11, v=1), tup(12, v=1)], close=True)
+        run_operator(op)
+        assert [t["count"] for t in collect(out)] == [2]
+
+
+class TestSlidingWindows:
+    def test_tuple_participates_in_multiple_windows(self):
+        op = AggregateOperator("agg", WindowSpec(size=120, advance=30), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1), tup(31, v=1), tup(61, v=1), tup(91, v=1)], close=True)
+        run_operator(op)
+        results = {t.ts: t["count"] for t in collect(out)}
+        # the window starting at 0 contains all four tuples.
+        assert results[0] == 4
+        # earlier windows contain progressively fewer tuples.
+        assert results[-90] == 1
+        assert results[-60] == 2
+        assert results[-30] == 3
+        # later windows lose the oldest tuples again.
+        assert results[30] == 3
+        assert results[90] == 1
+
+    def test_output_timestamps_are_window_starts(self):
+        op = AggregateOperator("agg", WindowSpec(size=20, advance=10), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(5, v=1), tup(15, v=1)], close=True)
+        run_operator(op)
+        assert [t.ts for t in collect(out)] == [-10, 0, 10]
+
+
+class TestEmitAtEnd:
+    def test_output_timestamp_is_window_end(self):
+        op = AggregateOperator(
+            "agg", WindowSpec(size=10, emit_at="end"), count_aggregate
+        )
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1), tup(12, v=2)], close=True)
+        run_operator(op)
+        assert [t.ts for t in collect(out)] == [10, 20]
+
+    def test_output_watermark_is_not_held_back(self):
+        op = AggregateOperator(
+            "agg", WindowSpec(size=10, emit_at="end"), count_aggregate
+        )
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1)], watermark=25)
+        run_operator(op)
+        assert out.watermark == 25
+
+
+class TestGroupBy:
+    def test_groups_are_aggregated_independently(self):
+        op = AggregateOperator(
+            "agg",
+            WindowSpec(size=10),
+            count_aggregate,
+            key_function=lambda t: t["car"],
+        )
+        (inp,), (out,) = wire(op)
+        feed(
+            inp,
+            [tup(1, car="a", v=1), tup(2, car="b", v=5), tup(3, car="a", v=2)],
+            close=True,
+        )
+        run_operator(op)
+        results = {t["key"]: (t["count"], t["sum"]) for t in collect(out)}
+        assert results == {"a": (2, 3), "b": (1, 5)}
+
+    def test_group_output_order_is_deterministic(self):
+        op = AggregateOperator(
+            "agg", WindowSpec(size=10), count_aggregate, key_function=lambda t: t["car"]
+        )
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, car="z", v=1), tup(2, car="a", v=1)], close=True)
+        run_operator(op)
+        assert [t["key"] for t in collect(out)] == ["a", "z"]
+
+
+class TestStateManagement:
+    def test_old_tuples_are_evicted(self):
+        op = AggregateOperator("agg", WindowSpec(size=10), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1), tup(2, v=1)], watermark=30)
+        run_operator(op)
+        assert op.buffered_tuples() == 0
+
+    def test_idle_gap_does_not_flush_empty_windows(self):
+        op = AggregateOperator("agg", WindowSpec(size=10), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1)], watermark=20)
+        run_operator(op)
+        # a very large idle gap, then one more tuple
+        feed(inp, [tup(100000, v=1)], close=True)
+        run_operator(op)
+        results = collect(out)
+        assert [t.ts for t in results] == [0, 100000]
+
+    def test_watermark_is_held_back_by_window_size(self):
+        op = AggregateOperator("agg", WindowSpec(size=100, advance=10), count_aggregate)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, v=1)], watermark=150)
+        run_operator(op)
+        assert out.watermark == 50

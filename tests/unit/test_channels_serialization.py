@@ -1,0 +1,90 @@
+"""Unit tests for inter-instance channels and tuple serialisation."""
+
+import pytest
+
+from repro.spe.channels import Channel
+from repro.spe.errors import ChannelError, SerializationError
+from repro.spe.serialization import deserialize_tuple, serialize_tuple
+from repro.spe.tuples import StreamTuple
+
+
+class TestChannel:
+    def test_send_receive_round_trip(self):
+        channel = Channel("c")
+        channel.send("one")
+        channel.send("two")
+        assert channel.receive() == "one"
+        assert channel.receive() == "two"
+        assert channel.receive() is None
+
+    def test_receive_all(self):
+        channel = Channel("c")
+        channel.send("a")
+        channel.send("b")
+        assert channel.receive_all() == ["a", "b"]
+        assert len(channel) == 0
+
+    def test_traffic_statistics(self):
+        channel = Channel("c")
+        channel.send("abcd")
+        channel.send("xy")
+        assert channel.tuples_sent == 2
+        assert channel.bytes_sent == 6
+
+    def test_watermark_is_monotone(self):
+        channel = Channel("c")
+        channel.advance_watermark(5)
+        channel.advance_watermark(3)
+        assert channel.watermark == 5
+
+    def test_close_prevents_sending(self):
+        channel = Channel("c")
+        channel.close()
+        assert channel.closed
+        assert channel.watermark == float("inf")
+        with pytest.raises(ChannelError):
+            channel.send("late")
+
+    def test_receiving_after_close_drains_remaining(self):
+        channel = Channel("c")
+        channel.send("pending")
+        channel.close()
+        assert channel.receive() == "pending"
+        assert channel.receive() is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_payload(self):
+        original = StreamTuple(ts=12.5, values={"car_id": "a", "speed": 0, "pos": 7}, wall=3.25)
+        data = serialize_tuple(original, {"type": "SOURCE", "id": "n1:4"})
+        restored, payload = deserialize_tuple(data)
+        assert restored.ts == original.ts
+        assert restored.values == original.values
+        assert restored.wall == original.wall
+        assert payload == {"type": "SOURCE", "id": "n1:4"}
+
+    def test_round_trip_without_payload(self):
+        data = serialize_tuple(StreamTuple(ts=1.0, values={"x": 1}), {})
+        restored, payload = deserialize_tuple(data)
+        assert restored.values == {"x": 1}
+        assert payload == {}
+
+    def test_deserialized_tuple_has_no_meta(self):
+        # Pointers cannot survive the process boundary: the reconstructed
+        # tuple starts with no metadata whatsoever.
+        original = StreamTuple(ts=1.0, values={"x": 1}, meta=object())
+        restored, _ = deserialize_tuple(serialize_tuple(original, {}))
+        assert restored.meta is None
+
+    def test_unserializable_values_raise(self):
+        bad = StreamTuple(ts=1.0, values={"x": object()})
+        with pytest.raises(SerializationError):
+            serialize_tuple(bad, {})
+
+    def test_corrupt_payload_raises(self):
+        with pytest.raises(SerializationError):
+            deserialize_tuple("{not json")
+
+    def test_missing_fields_raise(self):
+        with pytest.raises(SerializationError):
+            deserialize_tuple('{"values": {}}')

@@ -1,0 +1,55 @@
+"""Unit tests for the experiment configuration helpers."""
+
+import pytest
+
+from repro.core.provenance import ProvenanceMode
+from repro.experiments.config import ExperimentCell, WorkloadScale, workload_config_for
+from repro.workloads.linear_road import LinearRoadConfig
+from repro.workloads.smart_grid import SmartGridConfig
+
+
+class TestWorkloadScale:
+    def test_from_label(self):
+        assert WorkloadScale.from_label("smoke") is WorkloadScale.SMOKE
+        assert WorkloadScale.from_label("  Small ") is WorkloadScale.SMALL
+        assert WorkloadScale.from_label("PAPER") is WorkloadScale.PAPER
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            WorkloadScale.from_label("huge")
+
+
+class TestWorkloadConfigFor:
+    def test_linear_road_for_vehicular_queries(self):
+        for query in ("q1", "q2"):
+            config = workload_config_for(query, WorkloadScale.SMOKE)
+            assert isinstance(config, LinearRoadConfig)
+
+    def test_smart_grid_for_metering_queries(self):
+        for query in ("q3", "q4"):
+            config = workload_config_for(query, WorkloadScale.SMOKE)
+            assert isinstance(config, SmartGridConfig)
+
+    def test_scales_grow(self):
+        smoke = workload_config_for("q1", WorkloadScale.SMOKE)
+        small = workload_config_for("q1", WorkloadScale.SMALL)
+        paper = workload_config_for("q1", WorkloadScale.PAPER)
+        assert smoke.total_reports < small.total_reports < paper.total_reports
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(ValueError):
+            workload_config_for("q9", WorkloadScale.SMOKE)
+
+
+class TestExperimentCell:
+    def test_label(self):
+        cell = ExperimentCell(query="Q1", mode=ProvenanceMode.GENEALOG, deployment="inter")
+        assert cell.label == "q1/GL/inter"
+
+    def test_rejects_bad_deployment(self):
+        with pytest.raises(ValueError):
+            ExperimentCell(query="q1", mode=ProvenanceMode.NONE, deployment="cloud")
+
+    def test_rejects_bad_query(self):
+        with pytest.raises(ValueError):
+            ExperimentCell(query="q7", mode=ProvenanceMode.NONE)

@@ -1,0 +1,109 @@
+"""Unit tests for the measurement utilities."""
+
+import pytest
+
+from repro.spe.metrics import MemorySampler, RunMetrics, StatSummary, merge_metrics
+
+
+class TestStatSummary:
+    def test_empty_sample(self):
+        summary = StatSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+        assert summary.ci95 == 0.0
+
+    def test_single_sample(self):
+        summary = StatSummary.of([4.0])
+        assert summary.count == 1
+        assert summary.mean == 4.0
+        assert summary.stdev == 0.0
+        assert summary.ci95 == 0.0
+
+    def test_basic_statistics(self):
+        summary = StatSummary.of([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.stdev == pytest.approx(1.29099, rel=1e-4)
+        assert summary.ci95 == pytest.approx(1.96 * summary.stdev / 2, rel=1e-6)
+
+
+class TestMemorySampler:
+    def test_samples_and_peak(self):
+        sampler = MemorySampler()
+        sampler.start()
+        payload = [bytearray(100_000) for _ in range(5)]
+        sampler.sample()
+        del payload
+        sampler.sample()
+        sampler.stop()
+        assert len(sampler.samples_bytes) == 2
+        assert sampler.max_bytes >= sampler.samples_bytes[0]
+        assert sampler.average_bytes > 0
+
+    def test_average_of_no_samples_is_zero(self):
+        assert MemorySampler().average_bytes == 0.0
+
+
+class TestRunMetrics:
+    def _metrics(self):
+        metrics = RunMetrics(query="q1", technique="GL", deployment="intra")
+        metrics.source_tuples = 1000
+        metrics.wall_time_s = 2.0
+        metrics.latencies_s = [0.1, 0.2]
+        metrics.memory_samples_bytes = [1_000_000, 3_000_000]
+        metrics.memory_peak_bytes = 4_000_000
+        metrics.traversal_times_s = [0.001, 0.003]
+        metrics.provenance_sizes = [4, 4, 8]
+        return metrics
+
+    def test_throughput(self):
+        assert self._metrics().throughput_tps == 500.0
+
+    def test_throughput_with_zero_wall_time(self):
+        metrics = RunMetrics(query="q", technique="NP", deployment="intra")
+        assert metrics.throughput_tps == 0.0
+
+    def test_latency_summary(self):
+        assert self._metrics().latency.mean == pytest.approx(0.15)
+
+    def test_memory_in_megabytes(self):
+        metrics = self._metrics()
+        assert metrics.memory_average_mb == pytest.approx(2.0)
+        assert metrics.memory_max_mb == pytest.approx(4.0)
+
+    def test_traversal_summary(self):
+        assert self._metrics().traversal.mean == pytest.approx(0.002)
+
+    def test_average_provenance_size(self):
+        assert self._metrics().average_provenance_size == pytest.approx(16 / 3)
+
+    def test_empty_provenance_sizes(self):
+        metrics = RunMetrics(query="q", technique="NP", deployment="intra")
+        assert metrics.average_provenance_size == 0.0
+
+
+class TestMergeMetrics:
+    def test_merge_of_nothing_is_none(self):
+        assert merge_metrics([]) is None
+
+    def test_merge_averages_counters_and_concatenates_samples(self):
+        first = RunMetrics(query="q1", technique="GL", deployment="intra")
+        first.source_tuples = 100
+        first.wall_time_s = 1.0
+        first.latencies_s = [0.1]
+        first.memory_peak_bytes = 10
+        first.per_instance_traversal_s = {"spe1": [0.1]}
+        second = RunMetrics(query="q1", technique="GL", deployment="intra")
+        second.source_tuples = 200
+        second.wall_time_s = 3.0
+        second.latencies_s = [0.2, 0.3]
+        second.memory_peak_bytes = 20
+        second.per_instance_traversal_s = {"spe1": [0.2], "spe2": [0.4]}
+
+        merged = merge_metrics([first, second])
+        assert merged.source_tuples == 150
+        assert merged.wall_time_s == pytest.approx(2.0)
+        assert merged.latencies_s == [0.1, 0.2, 0.3]
+        assert merged.memory_peak_bytes == 20
+        assert merged.per_instance_traversal_s == {"spe1": [0.1, 0.2], "spe2": [0.4]}

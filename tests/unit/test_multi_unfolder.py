@@ -1,0 +1,166 @@
+"""Unit tests for the multi-stream unfolder (MU, section 6)."""
+
+import pytest
+
+from repro.core.instrumentation import GeneaLogProvenance
+from repro.core.multi_unfolder import (
+    MUOperator,
+    attach_mu,
+    combine_derived_and_upstream,
+)
+from repro.core.unfolder import (
+    ORIGIN_ID_FIELD,
+    ORIGIN_TS_FIELD,
+    ORIGIN_TYPE_FIELD,
+    SINK_ID_FIELD,
+    SINK_TS_FIELD,
+)
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.spe.streams import Stream
+from repro.spe.tuples import StreamTuple
+from tests.optest import collect, feed, run_operator
+
+
+def unfolded(sink_ts, sink_id, origin_ts, origin_id, origin_type="SOURCE", **extra):
+    """Build an unfolded tuple as an SU would produce it."""
+    values = {
+        SINK_TS_FIELD: sink_ts,
+        SINK_ID_FIELD: sink_id,
+        ORIGIN_TS_FIELD: origin_ts,
+        ORIGIN_ID_FIELD: origin_id,
+        ORIGIN_TYPE_FIELD: origin_type,
+    }
+    values.update(extra)
+    return StreamTuple(ts=sink_ts, values=values)
+
+
+class TestCombine:
+    def test_sink_part_comes_from_derived_origin_part_from_upstream(self):
+        derived = unfolded(100, "spe2:1", 90, "spe1:5", "REMOTE", sink_alert=1)
+        upstream = unfolded(90, "spe1:5", 60, "spe1:2", "SOURCE", car_id="a")
+        combined = combine_derived_and_upstream(derived, upstream)
+        assert combined["sink_alert"] == 1
+        assert combined[SINK_TS_FIELD] == 100
+        assert combined[SINK_ID_FIELD] == "spe2:1"
+        assert combined[ORIGIN_TS_FIELD] == 60
+        assert combined[ORIGIN_ID_FIELD] == "spe1:2"
+        assert combined[ORIGIN_TYPE_FIELD] == "SOURCE"
+        assert combined["car_id"] == "a"
+
+
+def wire_mu(retention=1000.0):
+    mu = MUOperator("mu", retention=retention)
+    mu.set_provenance(GeneaLogProvenance(node_id="prov"))
+    derived_in, upstream_in, out = Stream("derived"), Stream("upstream"), Stream("out")
+    mu.add_input(derived_in)
+    mu.add_input(upstream_in)
+    mu.add_output(out)
+    return mu, derived_in, upstream_in, out
+
+
+class TestMUOperator:
+    def test_source_typed_derived_tuples_are_forwarded(self):
+        mu, derived_in, upstream_in, out = wire_mu()
+        tuple_in = unfolded(10, "spe2:1", 5, "spe2:0", "SOURCE", sink_alert=1)
+        feed(derived_in, [tuple_in], close=True)
+        feed(upstream_in, [], close=True)
+        run_operator(mu)
+        assert collect(out) == [tuple_in]
+
+    def test_remote_typed_derived_tuples_are_replaced_by_upstream(self):
+        mu, derived_in, upstream_in, out = wire_mu()
+        upstream_tuples = [
+            unfolded(90, "spe1:5", ts, f"spe1:{ts}", "SOURCE", car_id="a")
+            for ts in (60, 70, 80)
+        ]
+        derived = unfolded(100, "spe2:1", 90, "spe1:5", "REMOTE", sink_alert=1)
+        feed(upstream_in, upstream_tuples, close=True)
+        feed(derived_in, [derived], close=True)
+        run_operator(mu)
+        results = collect(out)
+        assert sorted(t[ORIGIN_TS_FIELD] for t in results) == [60, 70, 80]
+        assert all(t["sink_alert"] == 1 for t in results)
+        assert all(t[SINK_ID_FIELD] == "spe2:1" for t in results)
+
+    def test_matching_works_regardless_of_arrival_order(self):
+        # The derived tuple may arrive before the upstream tuples (e.g. a
+        # window-start timestamp smaller than its contributing tuples).
+        mu, derived_in, upstream_in, out = wire_mu()
+        derived = unfolded(50, "spe2:1", 90, "spe1:5", "REMOTE")
+        upstream = unfolded(90, "spe1:5", 60, "spe1:2", "SOURCE")
+        feed(derived_in, [derived], close=True)
+        feed(upstream_in, [upstream], close=True)
+        run_operator(mu)
+        assert len(collect(out)) == 1
+
+    def test_unmatched_upstream_tuples_produce_nothing(self):
+        mu, derived_in, upstream_in, out = wire_mu()
+        upstream = unfolded(90, "spe1:5", 60, "spe1:2", "SOURCE")
+        feed(upstream_in, [upstream], close=True)
+        feed(derived_in, [], close=True)
+        run_operator(mu)
+        assert collect(out) == []
+
+    def test_buffers_are_purged_by_watermark(self):
+        mu, derived_in, upstream_in, out = wire_mu(retention=10)
+        upstream = unfolded(5, "spe1:5", 3, "spe1:2", "SOURCE")
+        feed(upstream_in, [upstream], watermark=100)
+        feed(derived_in, [], watermark=100)
+        run_operator(mu)
+        assert mu.buffered_tuples() == 0
+
+    def test_recent_buffers_are_retained(self):
+        mu, derived_in, upstream_in, out = wire_mu(retention=1000)
+        upstream = unfolded(5, "spe1:5", 3, "spe1:2", "SOURCE")
+        feed(upstream_in, [upstream], watermark=100)
+        feed(derived_in, [], watermark=100)
+        run_operator(mu)
+        assert mu.buffered_tuples() == 1
+
+
+class TestAttachMU:
+    def _run(self, fused):
+        query = Query("mu-query")
+        upstream_tuples = [
+            unfolded(90, "spe1:5", ts, f"spe1:{ts}", "SOURCE", car_id="a")
+            for ts in (60, 70, 80)
+        ]
+        derived_tuples = [
+            unfolded(30, "spe2:0", 30, "spe2:9", "SOURCE", sink_alert=0),
+            unfolded(100, "spe2:1", 90, "spe1:5", "REMOTE", sink_alert=1),
+        ]
+        derived_source = query.add_source("derived_source", derived_tuples)
+        upstream_source = query.add_source("upstream_source", upstream_tuples)
+        ports = attach_mu(query, retention=1000, upstream_count=1, fused=fused)
+        query.connect(derived_source, ports.derived_entry)
+        query.connect(upstream_source, ports.upstream_entry)
+        sink = query.add_sink("provenance_sink")
+        query.connect(ports.output, sink)
+        query.set_provenance(GeneaLogProvenance(node_id="prov"))
+        Scheduler(query).run()
+        return sink.received
+
+    @pytest.mark.parametrize("fused", [True, False], ids=["fused", "composed"])
+    def test_source_and_remote_tuples_are_handled(self, fused):
+        results = self._run(fused)
+        origins = sorted(t[ORIGIN_TS_FIELD] for t in results)
+        assert origins == [30, 60, 70, 80]
+
+    def test_fused_and_composed_agree(self):
+        fused_results = {
+            (t[SINK_ID_FIELD], t[ORIGIN_ID_FIELD]) for t in self._run(True)
+        }
+        composed_results = {
+            (t[SINK_ID_FIELD], t[ORIGIN_ID_FIELD]) for t in self._run(False)
+        }
+        assert fused_results == composed_results
+
+    def test_composed_mu_uses_only_standard_operators(self):
+        query = Query("q")
+        ports = attach_mu(query, retention=10, upstream_count=2, fused=False)
+        assert not any(isinstance(op, MUOperator) for op in query.operators)
+        names = {op.name for op in query.operators}
+        assert "mu_join" in names
+        assert "mu_upstream_union" in names
+        assert "mu_multiplex" in names

@@ -1,0 +1,179 @@
+"""Unit tests for the high-level provenance API (modes, capture, collector)."""
+
+import pytest
+
+from repro.core.baseline import AriadneBaselineProvenance
+from repro.core.instrumentation import GeneaLogProvenance
+from repro.core.provenance import (
+    ProvenanceCollector,
+    ProvenanceMode,
+    ProvenanceRecord,
+    attach_intra_process_provenance,
+    create_manager,
+)
+from repro.core.unfolder import SUOperator
+from repro.spe.provenance_api import NoProvenance, ProvenanceManager
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.spe.tuples import StreamTuple
+from tests.optest import tup
+
+
+class TestProvenanceMode:
+    def test_labels_match_the_paper(self):
+        assert ProvenanceMode.NONE.label == "NP"
+        assert ProvenanceMode.GENEALOG.label == "GL"
+        assert ProvenanceMode.BASELINE.label == "BL"
+
+    @pytest.mark.parametrize(
+        "label,expected",
+        [
+            ("NP", ProvenanceMode.NONE),
+            ("gl", ProvenanceMode.GENEALOG),
+            ("Baseline", ProvenanceMode.BASELINE),
+            ("GENEALOG", ProvenanceMode.GENEALOG),
+        ],
+    )
+    def test_from_label(self, label, expected):
+        assert ProvenanceMode.from_label(label) is expected
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ProvenanceMode.from_label("magic")
+
+    def test_create_manager(self):
+        assert isinstance(create_manager(ProvenanceMode.NONE), NoProvenance)
+        assert isinstance(create_manager(ProvenanceMode.GENEALOG), GeneaLogProvenance)
+        assert isinstance(create_manager(ProvenanceMode.BASELINE), AriadneBaselineProvenance)
+
+    def test_create_manager_propagates_node_id(self):
+        manager = create_manager(ProvenanceMode.GENEALOG, node_id="edge-3")
+        assert manager.node_id == "edge-3"
+
+
+class TestNoProvenanceManager:
+    def test_all_hooks_are_no_ops(self):
+        manager = ProvenanceManager()
+        tuple_a, tuple_b = tup(1), tup(2)
+        manager.on_source_output(tuple_a)
+        manager.on_map_output(tuple_b, tuple_a)
+        manager.on_join_output(tuple_b, tuple_b, tuple_a)
+        manager.on_aggregate_output(tuple_b, [tuple_a])
+        assert tuple_a.meta is None and tuple_b.meta is None
+        assert manager.on_send(tuple_a) == {}
+        assert manager.unfold(tuple_a) == []
+        assert manager.tuple_id(tuple_a) is None
+        assert manager.retained_items() == 0
+        assert manager.retained_bytes() == 0
+
+
+class TestProvenanceCollector:
+    def _unfolded(self, sink_id, sink_ts, origin_ts, **sink_values):
+        values = {f"sink_{k}": v for k, v in sink_values.items()}
+        values.update(
+            {
+                "sink_ts": sink_ts,
+                "sink_id": sink_id,
+                "ts_o": origin_ts,
+                "id_o": f"src:{origin_ts}",
+                "type_o": "SOURCE",
+                "payload": origin_ts,
+            }
+        )
+        return StreamTuple(ts=sink_ts, values=values)
+
+    def test_groups_unfolded_tuples_by_sink(self):
+        collector = ProvenanceCollector()
+        collector.add(self._unfolded("s1", 100, 90, alert=1))
+        collector.add(self._unfolded("s1", 100, 95, alert=1))
+        collector.add(self._unfolded("s2", 200, 150, alert=2))
+        assert len(collector) == 2
+        record = collector.record_for("s1")
+        assert record.source_count == 2
+        assert record.sink_values == {"alert": 1}
+        assert record.source_timestamps() == [90, 95]
+
+    def test_records_list(self):
+        collector = ProvenanceCollector()
+        collector.add(self._unfolded("s1", 100, 90, alert=1))
+        records = collector.records()
+        assert len(records) == 1
+        assert isinstance(records[0], ProvenanceRecord)
+        assert collector.unfolded_tuples == 1
+
+    def test_unknown_sink_id(self):
+        assert ProvenanceCollector().record_for("nope") is None
+
+
+def build_simple_query(tuples):
+    query = Query("simple")
+    source = query.add_source("source", tuples)
+    forward = query.add_filter("forward", lambda t: t["x"] > 0)
+    sink = query.add_sink("sink")
+    query.connect(source, forward)
+    query.connect(forward, sink)
+    return query, sink
+
+
+class TestAttachIntraProcessProvenance:
+    def test_none_mode_leaves_the_query_untouched(self):
+        query, sink = build_simple_query([tup(1, x=1)])
+        operator_count = len(query.operators)
+        capture = attach_intra_process_provenance(query, ProvenanceMode.NONE)
+        assert len(query.operators) == operator_count
+        assert capture.records() == []
+        Scheduler(query).run()
+        assert sink.count == 1
+
+    def test_genealog_mode_inserts_su_and_provenance_sink(self):
+        query, sink = build_simple_query([tup(1, x=1)])
+        attach_intra_process_provenance(query, ProvenanceMode.GENEALOG)
+        names = {op.name for op in query.operators}
+        assert "su_sink" in names
+        assert "provenance_sink" in names
+        assert any(isinstance(op, SUOperator) for op in query.operators)
+
+    def test_composed_mode_avoids_the_fused_operator(self):
+        query, _ = build_simple_query([tup(1, x=1)])
+        attach_intra_process_provenance(query, ProvenanceMode.GENEALOG, fused=False)
+        assert not any(isinstance(op, SUOperator) for op in query.operators)
+
+    def test_capture_collects_records(self, provenance_mode):
+        query, sink = build_simple_query([tup(1, x=1), tup(2, x=-1), tup(3, x=2)])
+        capture = attach_intra_process_provenance(query, provenance_mode)
+        Scheduler(query).run()
+        assert sink.count == 2
+        records = capture.records()
+        assert len(records) == 2
+        assert all(record.source_count == 1 for record in records)
+
+    def test_every_operator_shares_the_manager(self):
+        query, _ = build_simple_query([tup(1, x=1)])
+        capture = attach_intra_process_provenance(query, ProvenanceMode.GENEALOG)
+        assert all(op.provenance is capture.manager for op in query.operators)
+
+    def test_data_sink_results_are_unchanged_by_provenance(self):
+        plain_query, plain_sink = build_simple_query([tup(1, x=1), tup(2, x=5)])
+        attach_intra_process_provenance(plain_query, ProvenanceMode.NONE)
+        Scheduler(plain_query).run()
+
+        provenance_query, provenance_sink = build_simple_query([tup(1, x=1), tup(2, x=5)])
+        attach_intra_process_provenance(provenance_query, ProvenanceMode.GENEALOG)
+        Scheduler(provenance_query).run()
+
+        assert [t.values for t in plain_sink.received] == [
+            t.values for t in provenance_sink.received
+        ]
+
+    def test_traversal_times_exposed_through_capture(self):
+        query, _ = build_simple_query([tup(1, x=1)])
+        capture = attach_intra_process_provenance(query, ProvenanceMode.GENEALOG)
+        Scheduler(query).run()
+        assert len(capture.traversal_times_s()) == 1
+
+    def test_records_for_named_sink(self):
+        query, _ = build_simple_query([tup(1, x=1)])
+        capture = attach_intra_process_provenance(query, ProvenanceMode.GENEALOG)
+        Scheduler(query).run()
+        assert len(capture.records_for("sink")) == 1
+        assert capture.records_for("unknown") == []

@@ -1,0 +1,235 @@
+"""Unit tests for the Query DAG builder, the Scheduler and SPE instances."""
+
+import pytest
+
+from repro.spe.channels import Channel
+from repro.spe.errors import QueryValidationError, SchedulingError
+from repro.spe.instance import SPEInstance
+from repro.spe.operators import WindowSpec
+from repro.spe.query import Query
+from repro.spe.runtime import DistributedRuntime
+from repro.spe.scheduler import Scheduler
+from repro.spe.tuples import StreamTuple
+from tests.optest import tup
+
+
+def simple_query(tuples):
+    query = Query("simple")
+    source = query.add_source("source", tuples)
+    double = query.add_map("double", lambda t: t.derive(values={"x": t["x"] * 2}))
+    sink = query.add_sink("sink")
+    query.connect(source, double)
+    query.connect(double, sink)
+    return query, sink
+
+
+class TestQueryConstruction:
+    def test_duplicate_operator_names_rejected(self):
+        query = Query("q")
+        query.add_filter("f", lambda t: True)
+        with pytest.raises(QueryValidationError):
+            query.add_filter("f", lambda t: True)
+
+    def test_lookup_by_name(self):
+        query = Query("q")
+        op = query.add_filter("f", lambda t: True)
+        assert query["f"] is op
+        assert "f" in query
+        assert "other" not in query
+
+    def test_connect_requires_registered_operators(self):
+        query = Query("q")
+        inside = query.add_filter("f", lambda t: True)
+        other = Query("other").add_filter("g", lambda t: True)
+        with pytest.raises(QueryValidationError):
+            query.connect(inside, other)
+
+    def test_topological_order_respects_edges(self):
+        query, _ = simple_query([])
+        order = [op.name for op in query.topological_order()]
+        assert order.index("source") < order.index("double") < order.index("sink")
+
+    def test_cycle_detection(self):
+        query = Query("q")
+        a = query.add_filter("a", lambda t: True)
+        b = query.add_filter("b", lambda t: True)
+        query.connect(a, b)
+        query.connect(b, a)
+        with pytest.raises(QueryValidationError):
+            query.topological_order()
+
+    def test_validate_rejects_missing_inputs(self):
+        query = Query("q")
+        query.add_filter("dangling", lambda t: True)
+        with pytest.raises(QueryValidationError):
+            query.validate()
+
+    def test_validate_rejects_missing_outputs(self):
+        query = Query("q")
+        source = query.add_source("source", [])
+        filter_op = query.add_filter("f", lambda t: True)
+        query.connect(source, filter_op)
+        with pytest.raises(QueryValidationError):
+            query.validate()
+
+    def test_disconnect_removes_the_stream(self):
+        query, sink = simple_query([])
+        stream = sink.inputs[0]
+        producer, consumer = query.disconnect(stream)
+        assert producer.name == "double"
+        assert consumer is sink
+        assert stream not in query.streams
+        assert not sink.inputs
+
+    def test_disconnect_unknown_stream_rejected(self):
+        query, _ = simple_query([])
+        from repro.spe.streams import Stream
+
+        with pytest.raises(QueryValidationError):
+            query.disconnect(Stream("foreign"))
+
+    def test_producer_of(self):
+        query, sink = simple_query([])
+        assert query.producer_of(sink.inputs[0]).name == "double"
+
+    def test_sources_and_sinks_accessors(self):
+        query, sink = simple_query([])
+        assert [op.name for op in query.sources()] == ["source"]
+        assert query.sinks() == [sink]
+
+    def test_buffered_tuples_counts_streams_and_state(self):
+        query = Query("q")
+        source = query.add_source(
+            "source", [tup(1, x=1), tup(2, x=2), tup(3, x=3)], batch_size=2
+        )
+        agg = query.add_aggregate(
+            "agg", WindowSpec(size=100), lambda window, key: {"n": len(window)}
+        )
+        sink = query.add_sink("sink")
+        query.connect(source, agg)
+        query.connect(agg, sink)
+        source.work()
+        assert query.buffered_tuples() == 2  # queued in the source's output stream
+        agg.work()
+        assert query.buffered_tuples() == 2  # now held in the aggregate's window state
+
+
+class TestScheduler:
+    def test_runs_query_to_completion(self):
+        query, sink = simple_query([tup(1, x=1), tup(2, x=2), tup(3, x=3)])
+        Scheduler(query).run()
+        assert [t["x"] for t in sink.received] == [2, 4, 6]
+
+    def test_reports_pass_count(self):
+        query, _ = simple_query([tup(i, x=i) for i in range(100)])
+        scheduler = Scheduler(query)
+        passes = scheduler.run()
+        assert passes == scheduler.passes
+        assert passes >= 1
+
+    def test_finished_property(self):
+        query, _ = simple_query([tup(1, x=1)])
+        scheduler = Scheduler(query)
+        assert not scheduler.finished
+        scheduler.run()
+        assert scheduler.finished
+
+    def test_pass_callback_invoked(self):
+        calls = []
+        query, _ = simple_query([tup(i, x=i) for i in range(50)])
+        scheduler = Scheduler(
+            query, pass_callback=calls.append, callback_every=1
+        )
+        scheduler.run()
+        assert calls  # invoked at least once
+
+    def test_max_passes_guard(self):
+        query, _ = simple_query([tup(i, x=i) for i in range(500)])
+        scheduler = Scheduler(query, max_passes=1)
+        with pytest.raises(SchedulingError):
+            scheduler.run()
+
+    def test_stuck_receive_raises_instead_of_spinning(self):
+        query = Query("stuck")
+        channel = Channel("never-fed")
+        receive = query.add_receive("receive", channel)
+        sink = query.add_sink("sink")
+        query.connect(receive, sink)
+        with pytest.raises(SchedulingError):
+            Scheduler(query, max_passes=10).run()
+
+
+class TestSPEInstanceClassification:
+    def _build(self, with_receive, with_send):
+        instance = SPEInstance("node")
+        channel_in = Channel("in")
+        channel_out = Channel("out")
+        if with_receive:
+            entry = instance.add_receive("receive", channel_in)
+        else:
+            entry = instance.add_source("source", [])
+        if with_send:
+            exit_op = instance.add_send("send", channel_out)
+        else:
+            exit_op = instance.add_sink("sink")
+        instance.connect(entry, exit_op)
+        return instance
+
+    def test_source_instance(self):
+        instance = self._build(with_receive=False, with_send=True)
+        assert instance.is_source_instance
+        assert not instance.is_sink_instance
+        assert not instance.is_intermediate_instance
+
+    def test_sink_instance(self):
+        instance = self._build(with_receive=True, with_send=False)
+        assert instance.is_sink_instance
+        assert not instance.is_source_instance
+
+    def test_intermediate_instance(self):
+        instance = self._build(with_receive=True, with_send=True)
+        assert instance.is_intermediate_instance
+
+    def test_channel_accessors(self):
+        instance = self._build(with_receive=True, with_send=True)
+        assert len(instance.incoming_channels()) == 1
+        assert len(instance.outgoing_channels()) == 1
+
+
+class TestDistributedRuntime:
+    def _two_instance_pipeline(self, values):
+        channel = Channel("pipe")
+        upstream = SPEInstance("upstream")
+        source = upstream.add_source("source", [tup(i, x=v) for i, v in enumerate(values)])
+        send = upstream.add_send("send", channel)
+        upstream.connect(source, send)
+
+        downstream = SPEInstance("downstream")
+        receive = downstream.add_receive("receive", channel)
+        sink = downstream.add_sink("sink")
+        downstream.connect(receive, sink)
+        return [upstream, downstream], sink
+
+    def test_runs_instances_to_completion(self):
+        instances, sink = self._two_instance_pipeline([1, 2, 3])
+        runtime = DistributedRuntime(instances)
+        runtime.run()
+        assert [t["x"] for t in sink.received] == [1, 2, 3]
+        assert runtime.finished
+
+    def test_ordering_values(self):
+        instances, _ = self._two_instance_pipeline([1])
+        DistributedRuntime(instances)
+        assert instances[0].ordering_value == 0
+        assert instances[1].ordering_value == 1
+
+    def test_traffic_statistics(self):
+        instances, _ = self._two_instance_pipeline([1, 2])
+        runtime = DistributedRuntime(instances)
+        runtime.run()
+        assert runtime.total_tuples_transferred() == 2
+        assert runtime.total_bytes_transferred() > 0
+
+    def test_requires_at_least_one_instance(self):
+        with pytest.raises(SchedulingError):
+            DistributedRuntime([])

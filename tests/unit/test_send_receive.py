@@ -1,0 +1,128 @@
+"""Unit tests for the Send/Receive operators and their channel transport."""
+
+from repro.spe.channels import Channel
+from repro.spe.operators import ReceiveOperator, SendOperator
+from repro.spe.provenance_api import ProvenanceManager
+from repro.spe.streams import Stream
+from tests.optest import collect, feed, run_operator, tup, wire
+
+
+class RecordingManager(ProvenanceManager):
+    """Provenance manager that records on_send/on_receive invocations."""
+
+    name = "REC"
+
+    def __init__(self):
+        self.sent = []
+        self.received = []
+
+    def on_send(self, tup):
+        self.sent.append(tup)
+        return {"marker": len(self.sent)}
+
+    def on_receive(self, tup, payload):
+        self.received.append((tup, payload))
+
+
+class TestSendOperator:
+    def test_serialises_every_tuple_to_the_channel(self):
+        channel = Channel("c")
+        send = SendOperator("send", channel)
+        (inp,), _ = wire(send, n_outputs=0)
+        feed(inp, [tup(1, x=1), tup(2, x=2)], close=True)
+        run_operator(send)
+        assert channel.tuples_sent == 2
+        assert channel.closed
+
+    def test_forwards_watermark_to_channel(self):
+        channel = Channel("c")
+        send = SendOperator("send", channel)
+        (inp,), _ = wire(send, n_outputs=0)
+        feed(inp, [tup(1, x=1)], watermark=9)
+        run_operator(send)
+        assert channel.watermark == 9
+        assert not channel.closed
+
+    def test_consults_provenance_manager(self):
+        channel = Channel("c")
+        send = SendOperator("send", channel)
+        manager = RecordingManager()
+        send.set_provenance(manager)
+        (inp,), _ = wire(send, n_outputs=0)
+        feed(inp, [tup(1, x=1)], close=True)
+        run_operator(send)
+        assert len(manager.sent) == 1
+
+
+class TestReceiveOperator:
+    def test_rebuilds_tuples_from_channel(self):
+        channel = Channel("c")
+        send = SendOperator("send", channel)
+        (send_in,), _ = wire(send, n_outputs=0)
+        feed(send_in, [tup(1, x=1), tup(2, x=2)], close=True)
+        run_operator(send)
+
+        receive = ReceiveOperator("receive", channel)
+        out = Stream("out")
+        receive.add_output(out)
+        run_operator(receive)
+        restored = collect(out)
+        assert [t["x"] for t in restored] == [1, 2]
+        assert out.closed
+        assert receive.finished
+
+    def test_restored_tuples_are_new_objects(self):
+        channel = Channel("c")
+        send = SendOperator("send", channel)
+        (send_in,), _ = wire(send, n_outputs=0)
+        original = tup(1, x=1)
+        feed(send_in, [original], close=True)
+        run_operator(send)
+
+        receive = ReceiveOperator("receive", channel)
+        out = Stream("out")
+        receive.add_output(out)
+        run_operator(receive)
+        assert collect(out)[0] is not original
+
+    def test_payload_round_trip_to_provenance_manager(self):
+        channel = Channel("c")
+        send = SendOperator("send", channel)
+        sender_manager = RecordingManager()
+        send.set_provenance(sender_manager)
+        (send_in,), _ = wire(send, n_outputs=0)
+        feed(send_in, [tup(1, x=1)], close=True)
+        run_operator(send)
+
+        receive = ReceiveOperator("receive", channel)
+        receiver_manager = RecordingManager()
+        receive.set_provenance(receiver_manager)
+        out = Stream("out")
+        receive.add_output(out)
+        run_operator(receive)
+        assert receiver_manager.received[0][1] == {"marker": 1}
+
+    def test_watermark_propagates_before_close(self):
+        channel = Channel("c")
+        channel.advance_watermark(7)
+        receive = ReceiveOperator("receive", channel)
+        out = Stream("out")
+        receive.add_output(out)
+        receive.work()
+        assert out.watermark == 7
+        assert not out.closed
+
+    def test_wall_clock_survives_the_boundary(self):
+        channel = Channel("c")
+        send = SendOperator("send", channel)
+        (send_in,), _ = wire(send, n_outputs=0)
+        original = tup(1, x=1)
+        original.wall = 123.0
+        feed(send_in, [original], close=True)
+        run_operator(send)
+
+        receive = ReceiveOperator("receive", channel)
+        out = Stream("out")
+        receive.add_output(out)
+        run_operator(receive)
+        assert collect(out)[0].wall == 123.0

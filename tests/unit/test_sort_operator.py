@@ -1,0 +1,105 @@
+"""Unit tests for the Sort operator (bounded-disorder re-ordering)."""
+
+import pytest
+
+from repro.spe.errors import QueryValidationError, StreamOrderError
+from repro.spe.operators import SortOperator
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.spe.streams import Stream
+from tests.optest import collect, tup
+
+
+def wire_sort(slack, drop_violations=False):
+    op = SortOperator("sort", slack, drop_violations=drop_violations)
+    inp = Stream("in", enforce_order=False)
+    out = Stream("out")
+    op.add_input(inp)
+    op.add_output(out)
+    return op, inp, out
+
+
+def push_all(stream, timestamps, close=True):
+    for ts in timestamps:
+        stream.push(tup(ts))
+    if close:
+        stream.close()
+
+
+def run(op):
+    while op.work():
+        pass
+
+
+class TestSortOperator:
+    def test_reorders_within_the_slack(self):
+        op, inp, out = wire_sort(slack=10)
+        push_all(inp, [5, 1, 7, 3, 12, 9])
+        run(op)
+        assert [t.ts for t in collect(out)] == [1, 3, 5, 7, 9, 12]
+
+    def test_releases_progressively_not_only_at_close(self):
+        op, inp, out = wire_sort(slack=5)
+        push_all(inp, [1, 2, 3, 20], close=False)
+        run(op)
+        # everything at least `slack` behind the highest seen ts is released.
+        assert [t.ts for t in out] == [1, 2, 3]
+        assert op.buffered_tuples() == 1
+
+    def test_output_watermark_tracks_the_release_bound(self):
+        op, inp, out = wire_sort(slack=5)
+        push_all(inp, [1, 20], close=False)
+        run(op)
+        assert out.watermark == 15
+
+    def test_violation_raises_by_default(self):
+        op, inp, out = wire_sort(slack=2)
+        push_all(inp, [1, 10, 3], close=False)
+        with pytest.raises(StreamOrderError):
+            run(op)
+
+    def test_violation_can_be_dropped(self):
+        op, inp, out = wire_sort(slack=2, drop_violations=True)
+        push_all(inp, [1, 10, 3])
+        run(op)
+        assert [t.ts for t in collect(out)] == [1, 10]
+        assert op.violations == 1
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(QueryValidationError):
+            SortOperator("sort", slack=-1)
+
+    def test_equal_timestamps_keep_arrival_order(self):
+        op, inp, out = wire_sort(slack=10)
+        first, second = tup(5, label="a"), tup(5, label="b")
+        inp.push(first)
+        inp.push(second)
+        inp.close()
+        run(op)
+        assert [t["label"] for t in collect(out)] == ["a", "b"]
+
+
+class TestSortInAQuery:
+    def test_unsorted_source_with_sort_feeds_a_normal_query(self):
+        # tuples arrive with bounded disorder; after the Sort operator the
+        # rest of the query behaves exactly as with a sorted source.
+        disordered = [tup(ts, v=ts) for ts in [2, 0, 1, 5, 3, 4, 8, 6, 7]]
+        query = Query("unsorted")
+        source = query.add_source("source", disordered, enforce_order=False)
+        sort = query.add_sort("sort", slack=3)
+        sink = query.add_sink("sink")
+        query.connect(source, sort, sorted_stream=False)
+        query.connect(sort, sink)
+        Scheduler(query).run()
+        assert [t.ts for t in sink.received] == sorted(t.ts for t in disordered)
+
+    def test_sorted_stream_contract_still_enforced_downstream(self):
+        disordered = [tup(ts) for ts in [2, 0, 1]]
+        query = Query("unsorted")
+        source = query.add_source("source", disordered, enforce_order=False)
+        sink = query.add_sink("sink")
+        # connecting the unsorted source directly to the sink without a Sort
+        # operator violates the stream contract at run time.
+        query.connect(source, sink, sorted_stream=True)
+        with pytest.raises(StreamOrderError):
+            Scheduler(query).run()

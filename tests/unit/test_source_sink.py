@@ -1,0 +1,115 @@
+"""Unit tests for the Source and Sink operators."""
+
+import pytest
+
+from repro.spe.errors import StreamOrderError
+from repro.spe.operators import SinkOperator, SourceOperator
+from repro.spe.streams import Stream
+from repro.spe.tuples import StreamTuple
+from tests.optest import collect, feed, run_operator, tup, wire
+
+
+class TestSourceOperator:
+    def test_emits_all_tuples_and_closes(self):
+        source = SourceOperator("src", [tup(1, x=1), tup(2, x=2)])
+        stream = Stream("out")
+        source.add_output(stream)
+        run_operator(source)
+        assert [t["x"] for t in collect(stream)] == [1, 2]
+        assert stream.closed
+        assert source.finished
+
+    def test_batching_limits_tuples_per_pass(self):
+        source = SourceOperator("src", [tup(i) for i in range(10)], batch_size=3)
+        stream = Stream("out")
+        source.add_output(stream)
+        assert source.work()
+        assert len(stream) == 3
+        assert source.work()
+        assert len(stream) == 6
+
+    def test_callable_supplier_restarts_iteration(self):
+        supplier_calls = []
+
+        def supplier():
+            supplier_calls.append(1)
+            return [tup(1, x=1)]
+
+        source = SourceOperator("src", supplier)
+        stream = Stream("out")
+        source.add_output(stream)
+        run_operator(source)
+        assert len(supplier_calls) == 1
+        assert len(stream) == 1
+
+    def test_watermark_follows_last_emitted_tuple(self):
+        source = SourceOperator("src", [tup(3), tup(8)], batch_size=1)
+        stream = Stream("out")
+        source.add_output(stream)
+        source.work()
+        assert stream.watermark == 3
+        source.work()
+        assert stream.watermark == 8
+
+    def test_out_of_order_supplier_raises(self):
+        source = SourceOperator("src", [tup(5), tup(1)])
+        stream = Stream("out")
+        source.add_output(stream)
+        with pytest.raises(StreamOrderError):
+            run_operator(source)
+
+    def test_stamps_wall_clock_on_source_tuples(self):
+        clock = iter([100.0, 101.0])
+        source = SourceOperator("src", [tup(1), tup(2)], wall_clock=lambda: next(clock))
+        stream = Stream("out")
+        source.add_output(stream)
+        run_operator(source)
+        assert [t.wall for t in collect(stream)] == [100.0, 101.0]
+
+    def test_counts_emitted_tuples(self):
+        source = SourceOperator("src", [tup(1), tup(2), tup(3)])
+        source.add_output(Stream("out"))
+        run_operator(source)
+        assert source.tuples_out == 3
+
+
+class TestSinkOperator:
+    def test_collects_tuples_and_counts(self):
+        sink = SinkOperator("sink")
+        (inp,), _ = wire(sink, n_outputs=0)
+        feed(inp, [tup(1, x=1), tup(2, x=2)], close=True)
+        run_operator(sink)
+        assert sink.count == 2
+        assert [t["x"] for t in sink.received] == [1, 2]
+        assert sink.finished
+
+    def test_callback_is_invoked(self):
+        seen = []
+        sink = SinkOperator("sink", callback=seen.append, keep_tuples=False)
+        (inp,), _ = wire(sink, n_outputs=0)
+        feed(inp, [tup(1, x=1)], close=True)
+        run_operator(sink)
+        assert len(seen) == 1
+        assert sink.received == []
+
+    def test_latency_is_time_since_latest_contributing_source(self):
+        clock = iter([50.0, 60.0])
+        sink = SinkOperator("sink", wall_clock=lambda: next(clock))
+        (inp,), _ = wire(sink, n_outputs=0)
+        first = tup(1)
+        first.wall = 45.0
+        second = tup(2)
+        second.wall = 59.0
+        feed(inp, [first, second], close=True)
+        run_operator(sink)
+        assert sink.latencies == [pytest.approx(5.0), pytest.approx(1.0)]
+
+    def test_clear_resets_state(self):
+        sink = SinkOperator("sink")
+        (inp,), _ = wire(sink, n_outputs=0)
+        feed(inp, [tup(1)], close=True)
+        run_operator(sink)
+        sink.clear()
+        assert sink.count == 0
+        assert sink.received == []
+        assert sink.latencies == []

@@ -1,0 +1,189 @@
+"""Unit tests for the stateless operators (Map, Filter, Multiplex, Union, Router)."""
+
+import pytest
+
+from repro.spe.errors import QueryValidationError
+from repro.spe.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    MapOperator,
+    MultiplexOperator,
+    RouterOperator,
+    UnionOperator,
+)
+from repro.spe.tuples import StreamTuple
+from tests.optest import collect, feed, run_operator, tup, wire
+
+
+class TestMapOperator:
+    def test_applies_function_to_every_tuple(self):
+        op = MapOperator("double", lambda t: t.derive(values={"x": t["x"] * 2}))
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, x=1), tup(2, x=5)], close=True)
+        run_operator(op)
+        assert [t["x"] for t in collect(out)] == [2, 10]
+
+    def test_returning_none_drops_the_tuple(self):
+        op = MapOperator("maybe", lambda t: t.derive() if t["x"] > 0 else None)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, x=-1), tup(2, x=3)], close=True)
+        run_operator(op)
+        assert [t["x"] for t in collect(out)] == [3]
+
+    def test_propagates_wall_clock(self):
+        op = MapOperator("walls", lambda t: t.derive(values={"y": 1}))
+        (inp,), (out,) = wire(op)
+        source_tuple = tup(1, x=1)
+        source_tuple.wall = 42.0
+        feed(inp, [source_tuple], close=True)
+        run_operator(op)
+        assert collect(out)[0].wall == 42.0
+
+    def test_forwards_watermark_and_closes_output(self):
+        op = MapOperator("m", lambda t: t.derive())
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(5, x=1)], watermark=7, close=False)
+        run_operator(op)
+        assert out.watermark == 7
+        inp.close()
+        run_operator(op)
+        assert out.closed
+
+
+class TestFlatMapOperator:
+    def test_one_to_many_expansion(self):
+        op = FlatMapOperator(
+            "explode", lambda t: [t.derive(values={"i": i}) for i in range(t["n"])]
+        )
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, n=3), tup(2, n=0), tup(3, n=1)], close=True)
+        run_operator(op)
+        assert [t["i"] for t in collect(out)] == [0, 1, 2, 0]
+
+
+class TestFilterOperator:
+    def test_forwards_matching_tuples_only(self):
+        op = FilterOperator("positive", lambda t: t["x"] > 0)
+        (inp,), (out,) = wire(op)
+        feed(inp, [tup(1, x=-1), tup(2, x=2), tup(3, x=0), tup(4, x=9)], close=True)
+        run_operator(op)
+        assert [t["x"] for t in collect(out)] == [2, 9]
+        assert op.dropped == 2
+
+    def test_forwards_the_same_object(self):
+        # Filters forward tuples; they must not copy them (section 4.1).
+        op = FilterOperator("all", lambda t: True)
+        (inp,), (out,) = wire(op)
+        original = tup(1, x=1)
+        feed(inp, [original], close=True)
+        run_operator(op)
+        assert collect(out)[0] is original
+
+
+class TestMultiplexOperator:
+    def test_copies_to_every_output(self):
+        op = MultiplexOperator("mux")
+        (inp,), outs = wire(op, n_outputs=3)
+        feed(inp, [tup(1, x=1), tup(2, x=2)], close=True)
+        run_operator(op)
+        for out in outs:
+            assert [t["x"] for t in collect(out)] == [1, 2]
+
+    def test_copies_are_new_objects(self):
+        op = MultiplexOperator("mux")
+        (inp,), (out_a, out_b) = wire(op, n_outputs=2)
+        original = tup(1, x=1)
+        feed(inp, [original], close=True)
+        run_operator(op)
+        copy_a = collect(out_a)[0]
+        copy_b = collect(out_b)[0]
+        assert copy_a is not original and copy_b is not original
+        assert copy_a is not copy_b
+        assert copy_a.values == original.values
+
+
+class TestUnionOperator:
+    def test_merges_in_timestamp_order(self):
+        op = UnionOperator("union")
+        (left, right), (out,) = wire(op, n_inputs=2)
+        feed(left, [tup(1, src="l"), tup(5, src="l")], close=True)
+        feed(right, [tup(2, src="r"), tup(3, src="r")], close=True)
+        run_operator(op)
+        assert [t.ts for t in collect(out)] == [1, 2, 3, 5]
+
+    def test_waits_for_lagging_input(self):
+        op = UnionOperator("union")
+        (left, right), (out,) = wire(op, n_inputs=2)
+        feed(left, [tup(10, src="l")])
+        # right has no tuple and a low watermark: nothing can be emitted yet.
+        feed(right, [], watermark=3)
+        run_operator(op)
+        assert len(out) == 0
+        feed(right, [], watermark=20)
+        run_operator(op)
+        assert [t.ts for t in collect(out)] == [10]
+
+    def test_ties_prefer_lower_input_index(self):
+        op = UnionOperator("union")
+        (left, right), (out,) = wire(op, n_inputs=2)
+        feed(left, [tup(5, src="l")], close=True)
+        feed(right, [tup(5, src="r")], close=True)
+        run_operator(op)
+        assert [t["src"] for t in collect(out)] == ["l", "r"]
+
+    def test_output_closes_when_all_inputs_close(self):
+        op = UnionOperator("union")
+        (left, right), (out,) = wire(op, n_inputs=2)
+        feed(left, [tup(1, src="l")], close=True)
+        run_operator(op)
+        assert not out.closed
+        feed(right, [], close=True)
+        run_operator(op)
+        assert out.closed
+
+
+class TestRouterOperator:
+    def test_routes_by_predicate(self):
+        op = RouterOperator("router", [lambda t: t["x"] > 0, lambda t: t["x"] <= 0])
+        (inp,), (positive, non_positive) = wire(op, n_outputs=2)
+        feed(inp, [tup(1, x=3), tup(2, x=-1), tup(3, x=0)], close=True)
+        run_operator(op)
+        assert [t["x"] for t in collect(positive)] == [3]
+        assert [t["x"] for t in collect(non_positive)] == [-1, 0]
+
+    def test_none_predicate_accepts_everything(self):
+        op = RouterOperator("router", [None, lambda t: t["x"] > 0])
+        (inp,), (everything, positive) = wire(op, n_outputs=2)
+        feed(inp, [tup(1, x=-5), tup(2, x=5)], close=True)
+        run_operator(op)
+        assert len(collect(everything)) == 2
+        assert len(collect(positive)) == 1
+
+    def test_validation_checks_predicate_count(self):
+        # One predicate but two outputs must be rejected.
+        from repro.spe.streams import Stream
+
+        op = RouterOperator("router", [None])
+        op.add_input(Stream("in"))
+        op.add_output(Stream("out0"))
+        op.add_output(Stream("out1"))
+        with pytest.raises(QueryValidationError):
+            op.validate()
+
+
+class TestArityLimits:
+    def test_single_input_operator_rejects_second_input(self):
+        op = FilterOperator("f", lambda t: True)
+        from repro.spe.streams import Stream
+
+        op.add_input(Stream("a"))
+        with pytest.raises(QueryValidationError):
+            op.add_input(Stream("b"))
+
+    def test_single_output_operator_rejects_second_output(self):
+        op = MapOperator("m", lambda t: t)
+        from repro.spe.streams import Stream
+
+        op.add_output(Stream("a"))
+        with pytest.raises(QueryValidationError):
+            op.add_output(Stream("b"))

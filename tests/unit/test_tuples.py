@@ -1,0 +1,104 @@
+"""Unit tests for stream elements (tuples, watermarks, end-of-stream)."""
+
+import math
+
+import pytest
+
+from repro.spe.tuples import (
+    END_OF_STREAM,
+    FINAL_WATERMARK,
+    StreamTuple,
+    Watermark,
+    is_tuple,
+)
+
+
+class TestStreamTuple:
+    def test_values_are_copied(self):
+        values = {"a": 1}
+        tup = StreamTuple(ts=1.0, values=values)
+        values["a"] = 2
+        assert tup["a"] == 1
+
+    def test_getitem_and_get(self):
+        tup = StreamTuple(ts=0.0, values={"speed": 12})
+        assert tup["speed"] == 12
+        assert tup.get("speed") == 12
+        assert tup.get("missing") is None
+        assert tup.get("missing", 7) == 7
+
+    def test_setitem_and_contains(self):
+        tup = StreamTuple(ts=0.0)
+        tup["x"] = 3
+        assert "x" in tup
+        assert "y" not in tup
+        assert list(tup.keys()) == ["x"]
+
+    def test_missing_attribute_raises(self):
+        tup = StreamTuple(ts=0.0)
+        with pytest.raises(KeyError):
+            tup["nope"]
+
+    def test_default_values_empty(self):
+        tup = StreamTuple(ts=5.0)
+        assert tup.values == {}
+        assert tup.meta is None
+        assert tup.wall == 0.0
+
+    def test_derive_keeps_ts_and_values_by_default(self):
+        tup = StreamTuple(ts=3.0, values={"a": 1}, wall=9.0)
+        derived = tup.derive()
+        assert derived.ts == 3.0
+        assert derived.values == {"a": 1}
+        assert derived.wall == 9.0
+
+    def test_derive_does_not_share_meta(self):
+        tup = StreamTuple(ts=3.0, values={"a": 1}, meta=object())
+        derived = tup.derive()
+        assert derived.meta is None
+
+    def test_derive_does_not_share_values_dict(self):
+        tup = StreamTuple(ts=3.0, values={"a": 1})
+        derived = tup.derive()
+        derived["a"] = 2
+        assert tup["a"] == 1
+
+    def test_derive_overrides(self):
+        tup = StreamTuple(ts=3.0, values={"a": 1})
+        derived = tup.derive(ts=4.0, values={"b": 2})
+        assert derived.ts == 4.0
+        assert derived.values == {"b": 2}
+
+    def test_copy_shares_meta_reference(self):
+        marker = object()
+        tup = StreamTuple(ts=1.0, values={"a": 1}, meta=marker)
+        clone = tup.copy()
+        assert clone.meta is marker
+        assert clone.values == tup.values
+        assert clone.values is not tup.values
+
+    def test_same_payload(self):
+        first = StreamTuple(ts=1.0, values={"a": 1})
+        second = StreamTuple(ts=1.0, values={"a": 1})
+        third = StreamTuple(ts=2.0, values={"a": 1})
+        assert first.same_payload(second)
+        assert not first.same_payload(third)
+
+
+class TestControlElements:
+    def test_watermark_equality_and_hash(self):
+        assert Watermark(3.0) == Watermark(3.0)
+        assert Watermark(3.0) != Watermark(4.0)
+        assert hash(Watermark(3.0)) == hash(Watermark(3.0))
+
+    def test_end_of_stream_is_singleton_marker(self):
+        assert repr(END_OF_STREAM) == "END_OF_STREAM"
+
+    def test_final_watermark_is_infinite(self):
+        assert math.isinf(FINAL_WATERMARK)
+
+    def test_is_tuple(self):
+        assert is_tuple(StreamTuple(ts=0.0))
+        assert not is_tuple(Watermark(0.0))
+        assert not is_tuple(END_OF_STREAM)
+        assert not is_tuple("something")

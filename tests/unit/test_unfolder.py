@@ -1,0 +1,159 @@
+"""Unit tests for the single-stream unfolder (SU, section 5)."""
+
+import pytest
+
+from repro.core.instrumentation import GeneaLogProvenance
+from repro.core.unfolder import (
+    ORIGIN_ID_FIELD,
+    ORIGIN_TS_FIELD,
+    ORIGIN_TYPE_FIELD,
+    SINK_ID_FIELD,
+    SINK_TS_FIELD,
+    SUOperator,
+    UnfoldMapOperator,
+    attach_su,
+    make_unfolded_values,
+    origin_type_name,
+)
+from repro.core.types import TupleType
+from repro.spe.query import Query
+from repro.spe.scheduler import Scheduler
+from repro.spe.streams import Stream
+from repro.spe.tuples import StreamTuple
+from tests.optest import collect, feed, run_operator, tup
+
+
+@pytest.fixture
+def manager():
+    return GeneaLogProvenance(node_id="n1")
+
+
+def aggregate_tuple(manager, sources, ts=0.0, **values):
+    """Build an AGGREGATE-typed tuple whose window is ``sources``."""
+    for source in sources:
+        manager.on_source_output(source)
+    out = StreamTuple(ts=ts, values=values)
+    manager.on_aggregate_output(out, sources)
+    return out
+
+
+class TestUnfoldedValues:
+    def test_carries_sink_and_origin_attributes(self, manager):
+        source = tup(5, car_id="a", speed=0)
+        manager.on_source_output(source)
+        sink_tuple = tup(0, count=4)
+        manager.on_aggregate_output(sink_tuple, [source])
+        values = make_unfolded_values(sink_tuple, source, manager)
+        assert values["sink_count"] == 4
+        assert values[SINK_TS_FIELD] == 0
+        assert values["car_id"] == "a"
+        assert values[ORIGIN_TS_FIELD] == 5
+        assert values[ORIGIN_TYPE_FIELD] == "SOURCE"
+        assert values[SINK_ID_FIELD] == manager.tuple_id(sink_tuple)
+        assert values[ORIGIN_ID_FIELD] == manager.tuple_id(source)
+
+    def test_origin_type_name(self, manager):
+        source = tup(1)
+        manager.on_source_output(source)
+        assert origin_type_name(source) == "SOURCE"
+        remote = tup(1)
+        manager.on_receive(remote, {"type": "REMOTE", "id": "x:1"})
+        assert origin_type_name(remote) == "REMOTE"
+        assert origin_type_name(tup(1)) == "SOURCE"  # bare tuples default to SOURCE
+
+
+class TestSUOperator:
+    def _run_su(self, manager, tuples):
+        su = SUOperator("su")
+        su.set_provenance(manager)
+        data_out, unfolded_out = Stream("so"), Stream("u")
+        inp = Stream("si")
+        su.add_input(inp)
+        su.add_output(data_out)
+        su.add_output(unfolded_out)
+        feed(inp, tuples, close=True)
+        run_operator(su)
+        return collect(data_out), collect(unfolded_out)
+
+    def test_data_port_is_an_exact_copy_of_the_input(self, manager):
+        sources = [tup(ts, v=ts) for ts in (1, 2)]
+        out = aggregate_tuple(manager, sources, ts=0, alert=1)
+        data, _ = self._run_su(manager, [out])
+        assert data == [out]
+
+    def test_unfolded_port_has_one_tuple_per_originating_tuple(self, manager):
+        sources = [tup(ts, v=ts) for ts in (1, 2, 3)]
+        out = aggregate_tuple(manager, sources, ts=0, alert=1)
+        _, unfolded = self._run_su(manager, [out])
+        assert len(unfolded) == 3
+        assert sorted(t[ORIGIN_TS_FIELD] for t in unfolded) == [1, 2, 3]
+        assert all(t["sink_alert"] == 1 for t in unfolded)
+
+    def test_source_tuples_unfold_to_themselves(self, manager):
+        source = tup(7, v=1)
+        manager.on_source_output(source)
+        data, unfolded = self._run_su(manager, [source])
+        assert data == [source]
+        assert len(unfolded) == 1
+        assert unfolded[0][ORIGIN_TS_FIELD] == 7
+
+    def test_no_provenance_manager_produces_empty_unfolded_stream(self):
+        from repro.spe.provenance_api import NoProvenance
+
+        su = SUOperator("su")
+        su.set_provenance(NoProvenance())
+        inp, data_out, unfolded_out = Stream("si"), Stream("so"), Stream("u")
+        su.add_input(inp)
+        su.add_output(data_out)
+        su.add_output(unfolded_out)
+        feed(inp, [tup(1, v=1)], close=True)
+        run_operator(su)
+        assert len(collect(data_out)) == 1
+        assert collect(unfolded_out) == []
+
+
+class TestAttachSU:
+    def _query_with_su(self, fused):
+        manager = GeneaLogProvenance(node_id="n1")
+        sources = [tup(ts, v=ts) for ts in (1, 2, 3)]
+        query = Query("q")
+        source_op = query.add_source("source", sources)
+        data_out, unfolded_out = attach_su(query, source_op, name="su", fused=fused)
+        sink = query.add_sink("data_sink")
+        provenance_sink = query.add_sink("provenance_sink")
+        query.connect(data_out, sink)
+        query.connect(unfolded_out, provenance_sink)
+        query.set_provenance(manager)
+        Scheduler(query).run()
+        return sink, provenance_sink
+
+    def test_fused_and_composed_produce_the_same_unfolded_stream(self):
+        fused_sink, fused_prov = self._query_with_su(fused=True)
+        composed_sink, composed_prov = self._query_with_su(fused=False)
+        assert [t.values for t in fused_sink.received] == [
+            t.values for t in composed_sink.received
+        ]
+        fused_origins = sorted(t[ORIGIN_TS_FIELD] for t in fused_prov.received)
+        composed_origins = sorted(t[ORIGIN_TS_FIELD] for t in composed_prov.received)
+        assert fused_origins == composed_origins == [1, 2, 3]
+
+    def test_composed_su_uses_only_standard_operators(self):
+        query = Query("q")
+        source_op = query.add_source("source", [])
+        attach_su(query, source_op, name="su", fused=False)
+        names = {op.name for op in query.operators}
+        assert "su_multiplex" in names
+        assert "su_unfold" in names
+        assert not any(isinstance(op, SUOperator) for op in query.operators)
+
+    def test_unfold_map_operator_expands_tuples(self, manager):
+        unfold = UnfoldMapOperator("unfold")
+        unfold.set_provenance(manager)
+        inp, out = Stream("in"), Stream("out")
+        unfold.add_input(inp)
+        unfold.add_output(out)
+        sources = [tup(ts) for ts in (1, 2)]
+        aggregate = aggregate_tuple(manager, sources, ts=0)
+        feed(inp, [aggregate], close=True)
+        run_operator(unfold)
+        assert len(collect(out)) == 2

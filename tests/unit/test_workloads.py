@@ -1,0 +1,177 @@
+"""Unit tests for the synthetic Linear Road and Smart Grid workloads."""
+
+from collections import defaultdict
+
+from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+from repro.workloads.smart_grid import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SmartGridConfig,
+    SmartGridGenerator,
+)
+
+
+class TestLinearRoadGenerator:
+    def _tuples(self, **overrides):
+        config = LinearRoadConfig(n_cars=8, duration_s=900, seed=3, **overrides)
+        return config, list(LinearRoadGenerator(config).tuples())
+
+    def test_produces_expected_number_of_reports(self):
+        config, tuples = self._tuples()
+        assert len(tuples) == config.total_reports
+        assert config.total_reports == 8 * 30
+
+    def test_timestamps_are_sorted_and_spaced_by_the_interval(self):
+        config, tuples = self._tuples()
+        timestamps = [t.ts for t in tuples]
+        assert timestamps == sorted(timestamps)
+        assert set(ts % config.report_interval_s for ts in timestamps) == {0.0}
+
+    def test_every_car_reports_every_interval(self):
+        config, tuples = self._tuples()
+        per_round = defaultdict(set)
+        for report in tuples:
+            per_round[report.ts].add(report["car_id"])
+        assert all(len(cars) == config.n_cars for cars in per_round.values())
+
+    def test_schema(self):
+        _, tuples = self._tuples()
+        sample = tuples[0]
+        assert set(sample.keys()) == {"car_id", "speed", "pos"}
+        assert isinstance(sample["pos"], int)
+
+    def test_is_deterministic_for_a_seed(self):
+        _, first = self._tuples()
+        _, second = self._tuples()
+        assert [(t.ts, t.values) for t in first] == [(t.ts, t.values) for t in second]
+
+    def test_different_seeds_differ(self):
+        config_a = LinearRoadConfig(n_cars=8, duration_s=900, seed=1)
+        config_b = LinearRoadConfig(n_cars=8, duration_s=900, seed=2)
+        tuples_a = [(t.ts, t.values) for t in LinearRoadGenerator(config_a).tuples()]
+        tuples_b = [(t.ts, t.values) for t in LinearRoadGenerator(config_b).tuples()]
+        assert tuples_a != tuples_b
+
+    def test_breakdowns_produce_stopped_car_sequences(self):
+        config, tuples = self._tuples(breakdown_probability=0.1)
+        zero_runs = defaultdict(int)
+        longest_run = defaultdict(int)
+        for report in tuples:
+            car = report["car_id"]
+            if report["speed"] == 0:
+                zero_runs[car] += 1
+                longest_run[car] = max(longest_run[car], zero_runs[car])
+            else:
+                zero_runs[car] = 0
+        # at least one car must be stopped long enough to trigger Q1
+        assert longest_run and max(longest_run.values()) >= 4
+
+    def test_stopped_cars_keep_their_position(self):
+        config, tuples = self._tuples(breakdown_probability=0.1)
+        by_car = defaultdict(list)
+        for report in tuples:
+            by_car[report["car_id"]].append(report)
+        for reports in by_car.values():
+            for previous, current in zip(reports, reports[1:]):
+                if previous["speed"] == 0 and current["speed"] == 0:
+                    assert previous["pos"] == current["pos"]
+
+    def test_accidents_involve_two_cars_at_the_same_position(self):
+        config = LinearRoadConfig(
+            n_cars=20,
+            duration_s=3600,
+            breakdown_probability=0.05,
+            accident_probability=1.0,
+            seed=5,
+        )
+        tuples = list(LinearRoadGenerator(config).tuples())
+        stopped_by_round = defaultdict(lambda: defaultdict(set))
+        for report in tuples:
+            if report["speed"] == 0:
+                stopped_by_round[report.ts][report["pos"]].add(report["car_id"])
+        collisions = [
+            cars
+            for positions in stopped_by_round.values()
+            for cars in positions.values()
+            if len(cars) >= 2
+        ]
+        assert collisions
+
+    def test_iterable_protocol(self):
+        config = LinearRoadConfig(n_cars=2, duration_s=60)
+        assert len(list(iter(LinearRoadGenerator(config)))) == config.total_reports
+
+
+class TestSmartGridGenerator:
+    def _tuples(self, **overrides):
+        config = SmartGridConfig(n_meters=10, n_days=3, seed=2, **overrides)
+        return config, list(SmartGridGenerator(config).tuples())
+
+    def test_produces_expected_number_of_reports(self):
+        config, tuples = self._tuples()
+        assert len(tuples) == config.total_reports == 10 * 3 * 24
+
+    def test_timestamps_are_hourly_and_sorted(self):
+        _, tuples = self._tuples()
+        timestamps = [t.ts for t in tuples]
+        assert timestamps == sorted(timestamps)
+        assert set(ts % SECONDS_PER_HOUR for ts in timestamps) == {0.0}
+
+    def test_schema(self):
+        _, tuples = self._tuples()
+        sample = tuples[0]
+        assert set(sample.keys()) == {"meter_id", "cons"}
+        assert sample["cons"] >= 0
+
+    def test_every_meter_reports_every_hour(self):
+        config, tuples = self._tuples()
+        per_hour = defaultdict(set)
+        for report in tuples:
+            per_hour[report.ts].add(report["meter_id"])
+        assert all(len(meters) == config.n_meters for meters in per_hour.values())
+
+    def test_is_deterministic_for_a_seed(self):
+        _, first = self._tuples()
+        _, second = self._tuples()
+        assert [(t.ts, t.values) for t in first] == [(t.ts, t.values) for t in second]
+
+    def test_blackout_days_have_enough_zero_meters(self):
+        config = SmartGridConfig(
+            n_meters=12,
+            n_days=4,
+            blackout_day_probability=1.0,
+            blackout_meter_count=8,
+            anomaly_probability=0.0,
+            seed=3,
+        )
+        tuples = list(SmartGridGenerator(config).tuples())
+        daily_sum = defaultdict(float)
+        for report in tuples:
+            day = int(report.ts // SECONDS_PER_DAY)
+            daily_sum[(day, report["meter_id"])] += report["cons"]
+        zero_meters_per_day = defaultdict(int)
+        for (day, _), total in daily_sum.items():
+            if total == 0:
+                zero_meters_per_day[day] += 1
+        assert any(count > 7 for count in zero_meters_per_day.values())
+
+    def test_anomalies_happen_only_at_midnight(self):
+        config = SmartGridConfig(
+            n_meters=10,
+            n_days=4,
+            blackout_day_probability=0.0,
+            anomaly_probability=0.5,
+            seed=4,
+        )
+        tuples = list(SmartGridGenerator(config).tuples())
+        anomalous = [t for t in tuples if t["cons"] == config.anomaly_consumption]
+        assert anomalous
+        assert all(t.ts % SECONDS_PER_DAY == 0 for t in anomalous)
+
+    def test_no_anomalies_on_the_first_day(self):
+        config = SmartGridConfig(
+            n_meters=10, n_days=3, anomaly_probability=1.0, seed=6
+        )
+        tuples = list(SmartGridGenerator(config).tuples())
+        first_day = [t for t in tuples if t.ts < SECONDS_PER_DAY]
+        assert all(t["cons"] != config.anomaly_consumption for t in first_day)
