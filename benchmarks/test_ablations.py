@@ -27,7 +27,7 @@ from repro.spe.operators.aggregate import WindowSpec
 from repro.spe.query import Query
 from repro.spe.scheduler import Scheduler
 from repro.spe.tuples import StreamTuple
-from repro.workloads.queries import build_query
+from repro.workloads.queries import query_pipeline
 
 
 # ---------------------------------------------------------------------------
@@ -42,13 +42,13 @@ def test_ablation_su_fused_vs_composed(benchmark, query, fused, workload_scale):
     supplier = make_supplier(workload)
 
     def run():
-        bundle = build_query(query, supplier, mode=ProvenanceMode.GENEALOG, fused=fused)
-        Scheduler(bundle.query).run()
-        return bundle
+        return query_pipeline(
+            query, supplier, mode=ProvenanceMode.GENEALOG, fused=fused
+        ).run()
 
-    bundle = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
-    benchmark.extra_info["records"] = len(bundle.capture.records())
-    assert bundle.capture.records()
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["records"] = len(result.provenance_records())
+    assert result.provenance_records()
 
 
 # ---------------------------------------------------------------------------

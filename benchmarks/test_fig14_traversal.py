@@ -19,8 +19,7 @@ from repro.core.provenance import ProvenanceMode
 from repro.core.traversal import find_provenance
 from repro.experiments.config import workload_config_for
 from repro.experiments.harness import make_supplier, run_inter_process
-from repro.spe.scheduler import Scheduler
-from repro.workloads.queries import build_query
+from repro.workloads.queries import query_pipeline
 
 QUERIES = ("q1", "q2", "q3", "q4")
 
@@ -33,10 +32,11 @@ _TRAVERSAL_MEANS = {}
 
 def _sink_tuples_for(query, scale):
     workload = workload_config_for(query, scale)
-    bundle = build_query(query, make_supplier(workload), mode=ProvenanceMode.GENEALOG)
-    Scheduler(bundle.query).run()
-    assert bundle.sink.received, f"{query} produced no sink tuples at scale {scale}"
-    return bundle.sink.received
+    result = query_pipeline(
+        query, make_supplier(workload), mode=ProvenanceMode.GENEALOG
+    ).run()
+    assert result.sink.received, f"{query} produced no sink tuples at scale {scale}"
+    return result.sink.received
 
 
 @pytest.mark.parametrize("query", QUERIES)

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Building a custom query and enabling provenance on it.
+"""Building a custom query with the fluent API and enabling provenance on it.
 
 This example shows the public API end to end, independent of the paper's
-predefined queries: a small "fleet telemetry" query is assembled from the
-standard operators (Multiplex, Filter, Aggregate, Join), provenance capture
-is switched on with one call, and the provenance of every alert is printed.
+predefined queries: a small "fleet telemetry" query is written as a fluent
+dataflow (split, Filter, Aggregate, Join), provenance capture is switched on
+by the ``Pipeline`` facade, and the provenance of every alert is printed.
 
 The query correlates, per machine, a high-temperature episode (average
 temperature over 10 minutes above a threshold) with a vibration spike in the
@@ -17,10 +17,8 @@ Run with::
 
 import random
 
-from repro.core.provenance import ProvenanceMode, attach_intra_process_provenance
+from repro.api import Dataflow, Pipeline
 from repro.spe.operators.aggregate import WindowSpec
-from repro.spe.query import Query
-from repro.spe.scheduler import Scheduler
 from repro.spe.tuples import StreamTuple
 
 MINUTE = 60.0
@@ -47,60 +45,50 @@ def telemetry(n_machines=6, minutes=120, seed=3):
             )
 
 
-def build_maintenance_query(supplier) -> Query:
-    query = Query("predictive-maintenance")
-    source = query.add_source("telemetry", supplier)
-    split = query.add_multiplex("split")
+def build_maintenance_dataflow(supplier) -> Dataflow:
+    df = Dataflow("predictive-maintenance")
+    split = df.source("telemetry", supplier).split(name="split")
 
-    hot = query.add_aggregate(
-        "avg_temperature",
-        WindowSpec(size=10 * MINUTE, advance=10 * MINUTE),
-        lambda window, key: {
-            "machine": key,
-            "avg_temp": sum(t["temperature"] for t in window) / len(window),
-        },
-        key_function=lambda t: t["machine"],
+    too_hot = (
+        split.aggregate(
+            WindowSpec(size=10 * MINUTE, advance=10 * MINUTE),
+            lambda window, key: {
+                "machine": key,
+                "avg_temp": sum(t["temperature"] for t in window) / len(window),
+            },
+            key_function=lambda t: t["machine"],
+            name="avg_temperature",
+        )
+        .filter(lambda t: t["avg_temp"] > 75, name="too_hot")
     )
-    too_hot = query.add_filter("too_hot", lambda t: t["avg_temp"] > 75)
+    shaking = split.filter(lambda t: t["vibration"] > 5, name="vibration_spike")
 
-    shaking = query.add_filter("vibration_spike", lambda t: t["vibration"] > 5)
-
-    correlate = query.add_join(
-        "correlate",
-        window_size=10 * MINUTE,
-        predicate=lambda left, right: left["machine"] == right["machine"],
-        combiner=lambda left, right: {
-            "machine": left["machine"],
-            "avg_temp": round(left["avg_temp"], 1),
-            "vibration": right["vibration"],
-        },
-    )
-    alert = query.add_filter("alert", lambda t: t["vibration"] > 6)
-    sink = query.add_sink("alerts")
-
-    query.connect(source, split)
-    query.connect(split, hot)
-    query.connect(split, shaking)
-    query.connect(hot, too_hot)
-    query.connect(too_hot, correlate)
-    query.connect(shaking, correlate)
-    query.connect(correlate, alert)
-    query.connect(alert, sink)
-    return query
+    (too_hot.join(
+         shaking,
+         window_size=10 * MINUTE,
+         predicate=lambda left, right: left["machine"] == right["machine"],
+         combiner=lambda left, right: {
+             "machine": left["machine"],
+             "avg_temp": round(left["avg_temp"], 1),
+             "vibration": right["vibration"],
+         },
+         name="correlate",
+     )
+     .filter(lambda t: t["vibration"] > 6, name="alert")
+     .sink("alerts"))
+    return df
 
 
 def main() -> None:
-    query = build_maintenance_query(telemetry)
+    # The Pipeline adds the SU operator and the provenance sink
+    # (Theorem 5.3), installs GeneaLog's instrumentation on every operator,
+    # and runs the query with the deterministic scheduler.
+    result = Pipeline(
+        build_maintenance_dataflow(telemetry), provenance="genealog"
+    ).run()
 
-    # One call adds the SU operator and the provenance sink (Theorem 5.3) and
-    # installs GeneaLog's instrumentation on every operator.
-    capture = attach_intra_process_provenance(query, ProvenanceMode.GENEALOG)
-
-    Scheduler(query).run()
-
-    alerts = query["alerts"]
-    print(f"{alerts.count} maintenance alert(s) raised.")
-    for record in capture.records():
+    print(f"{result.sink.count} maintenance alert(s) raised.")
+    for record in result.provenance_records():
         machine = record.sink_values["machine"]
         readings = sorted(record.sources, key=lambda entry: entry["ts_o"])
         print(

@@ -3,11 +3,12 @@
 
 Reproduces the deployment of Figure 7: the broken-down-car query runs on two
 "processing" SPE instances while a third instance is dedicated to provenance.
-Tuples crossing instance boundaries are serialised (pointers cannot survive),
-so GeneaLog's inter-process machinery is exercised: SU operators unfold the
-delivering streams, unique IDs and the REMOTE tuple type cross the channels,
-and the MU operator on the provenance node stitches local unfoldings into the
-end-to-end provenance (section 6 of the paper).
+The whole deployment is one ``Pipeline`` call: the query is written once as a
+fluent dataflow, a ``Placement`` maps its stages onto the SPE instances, and
+the pipeline inserts the Send/Receive pairs at the process boundaries and
+splices in GeneaLog's inter-process machinery (SU operators unfolding the
+delivering streams, unique IDs and the REMOTE tuple type crossing the
+channels, the MU operator on the provenance node -- section 6 of the paper).
 
 Run with::
 
@@ -16,10 +17,9 @@ Run with::
 
 import argparse
 
-from repro.core.provenance import ProvenanceMode
-from repro.spe.runtime import DistributedRuntime
+from repro.api import Pipeline
 from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
-from repro.workloads.queries import build_distributed_query
+from repro.workloads.queries import query_dataflow, query_placement
 
 
 def main() -> None:
@@ -41,13 +41,15 @@ def main() -> None:
         accident_probability=0.4,
         seed=11,
     )
-    mode = ProvenanceMode.from_label(args.technique)
-    bundle = build_distributed_query(
-        "q1", LinearRoadGenerator(config).tuples, mode=mode
+    pipeline = Pipeline(
+        query_dataflow("q1", LinearRoadGenerator(config).tuples),
+        provenance=args.technique,
+        placement=query_placement("q1"),
     )
+    result = pipeline.build()
 
     print("Deployment:")
-    for instance in bundle.instances:
+    for instance in result.instances:
         roles = []
         if instance.is_source_instance:
             roles.append("source instance")
@@ -58,19 +60,18 @@ def main() -> None:
         operator_names = ", ".join(op.name for op in instance.operators)
         print(f"  {instance.name} ({', '.join(roles)}): {operator_names}")
 
-    runtime = DistributedRuntime(bundle.instances)
-    runtime.run()
+    pipeline.run()
 
     print("\nExecution summary:")
-    print(f"  source tuples processed : {bundle.source.tuples_out}")
-    print(f"  alerts produced         : {bundle.sink.count}")
-    print(f"  tuples over the network : {runtime.total_tuples_transferred()}")
-    print(f"  bytes over the network  : {runtime.total_bytes_transferred()}")
-    for instance in bundle.instances:
+    print(f"  source tuples processed : {result.source.tuples_out}")
+    print(f"  alerts produced         : {result.sink.count}")
+    print(f"  tuples over the network : {result.tuples_transferred()}")
+    print(f"  bytes over the network  : {result.bytes_transferred()}")
+    for instance in result.instances:
         print(f"  ordering value of {instance.name}: {instance.ordering_value}")
 
-    if mode is not ProvenanceMode.NONE:
-        records = bundle.provenance_records()
+    if result.collector is not None:
+        records = result.provenance_records()
         print(f"\nProvenance records collected at the provenance node: {len(records)}")
         for record in records[:3]:
             sources = ", ".join(
@@ -82,7 +83,7 @@ def main() -> None:
             )
         if len(records) > 3:
             print(f"  ... and {len(records) - 3} more")
-        times = bundle.traversal_times_by_instance()
+        times = result.traversal_times_by_instance()
         for name, samples in sorted(times.items()):
             mean_us = 1e6 * sum(samples) / len(samples)
             print(f"  traversal on {name}: {mean_us:.1f} us per tuple ({len(samples)} traversals)")

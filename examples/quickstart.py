@@ -1,19 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: fine-grained provenance for the paper's running example.
 
-Builds the broken-down-car query of Figure 1 (Filter -> Aggregate -> Filter),
-feeds it the six position reports shown in the paper, and prints, for the
-produced alert, the exact source tuples that contributed to it (Figure 2).
+Builds the broken-down-car query of Figure 1 (Filter -> Aggregate -> Filter)
+with the fluent dataflow API, feeds it the six position reports shown in the
+paper, and prints, for the produced alert, the exact source tuples that
+contributed to it (Figure 2).  One ``Pipeline`` call enables GeneaLog
+provenance capture and runs the query with the deterministic scheduler.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core.provenance import ProvenanceMode
-from repro.spe.scheduler import Scheduler
+from repro.api import Dataflow, Pipeline
+from repro.spe.operators.aggregate import WindowSpec
 from repro.spe.tuples import StreamTuple
-from repro.workloads.queries import build_query
 
 BASE_TS = 8 * 3600  # 08:00:00
 
@@ -39,24 +40,41 @@ def hhmmss(ts: float) -> str:
     return f"{seconds // 3600:02d}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
 
 
-def main() -> None:
-    # Build Q1 and enable GeneaLog provenance capture: an SU operator is
-    # spliced in front of the Sink and a provenance Sink collects the
-    # unfolded stream (section 5 of the paper).
-    bundle = build_query("q1", figure1_reports, mode=ProvenanceMode.GENEALOG)
+def broken_down_cars() -> Dataflow:
+    """Q1 of the paper, written fluently: Filter -> Aggregate -> Filter -> Sink."""
+    df = Dataflow("q1")
+    (df.source("reports", figure1_reports)
+       .filter(lambda t: t["speed"] == 0, name="stopped")
+       .aggregate(
+           WindowSpec(size=120.0, advance=30.0),
+           lambda window, key: {
+               "car_id": key,
+               "count": len(window),
+               "dist_pos": len({t["pos"] for t in window}),
+           },
+           key_function=lambda t: t["car_id"],
+           name="stop_aggregate",
+       )
+       .filter(lambda t: t["count"] == 4 and t["dist_pos"] == 1, name="alert")
+       .sink("sink"))
+    return df
 
-    # Run the query to completion with the deterministic scheduler.
-    Scheduler(bundle.query).run()
+
+def main() -> None:
+    # provenance="genealog" splices an SU operator in front of the Sink and a
+    # provenance Sink collecting the unfolded stream (section 5 of the
+    # paper); .run() executes the query with the deterministic scheduler.
+    result = Pipeline(broken_down_cars(), provenance="genealog").run()
 
     print("Sink tuples (broken-down car alerts):")
-    for alert in bundle.sink.received:
+    for alert in result.sink.received:
         print(
             f"  {hhmmss(alert.ts)}  car={alert['car_id']}  "
             f"count={alert['count']}  dist_pos={alert['dist_pos']}"
         )
 
     print("\nFine-grained provenance (source tuples contributing to each alert):")
-    for record in bundle.capture.records():
+    for record in result.provenance_records():
         print(
             f"  alert at {hhmmss(record.sink_ts)} for car {record.sink_values['car_id']}"
             f" <- {record.source_count} source tuples"
@@ -67,7 +85,7 @@ def main() -> None:
                 f"  speed={source['speed']}  pos={source['pos']}"
             )
 
-    traversals = bundle.capture.traversal_times_s()
+    traversals = result.traversal_times_s()
     if traversals:
         mean_us = 1e6 * sum(traversals) / len(traversals)
         print(f"\nContribution-graph traversal: {mean_us:.1f} us per sink tuple on average")

@@ -14,22 +14,19 @@ Run with::
 import argparse
 from collections import defaultdict
 
-from repro.core.provenance import ProvenanceMode
-from repro.spe.scheduler import Scheduler
-from repro.workloads.queries import build_query
+from repro.api import Pipeline
+from repro.workloads.queries import query_dataflow
 from repro.workloads.smart_grid import SECONDS_PER_DAY, SmartGridConfig, SmartGridGenerator
 
 
 def run_query(name, config):
     generator = SmartGridGenerator(config)
-    bundle = build_query(name, generator.tuples, mode=ProvenanceMode.GENEALOG)
-    Scheduler(bundle.query).run()
-    return bundle
+    return Pipeline(query_dataflow(name, generator.tuples), provenance="genealog").run()
 
 
-def describe_blackouts(bundle) -> None:
-    print(f"\nQ3 - long-term blackout detection: {bundle.sink.count} alert(s)")
-    for record in bundle.capture.records():
+def describe_blackouts(result) -> None:
+    print(f"\nQ3 - long-term blackout detection: {result.sink.count} alert(s)")
+    for record in result.provenance_records():
         day = int(record.sink_ts // SECONDS_PER_DAY)
         meters = sorted({entry["meter_id"] for entry in record.sources})
         print(
@@ -39,9 +36,9 @@ def describe_blackouts(bundle) -> None:
         print(f"    affected meters: {', '.join(meters)}")
 
 
-def describe_anomalies(bundle) -> None:
-    print(f"\nQ4 - anomaly detection: {bundle.sink.count} alert(s)")
-    for record in bundle.capture.records():
+def describe_anomalies(result) -> None:
+    print(f"\nQ4 - anomaly detection: {result.sink.count} alert(s)")
+    for record in result.provenance_records():
         meter = record.sink_values["meter_id"]
         day = int(record.sink_ts // SECONDS_PER_DAY)
         by_hour = defaultdict(float)

@@ -15,10 +15,9 @@ Run with::
 import argparse
 from collections import defaultdict
 
-from repro.core.provenance import ProvenanceMode
-from repro.spe.scheduler import Scheduler
+from repro.api import Pipeline
 from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
-from repro.workloads.queries import build_query
+from repro.workloads.queries import query_dataflow
 
 
 def main() -> None:
@@ -41,11 +40,10 @@ def main() -> None:
         f"({config.total_reports} position reports)..."
     )
 
-    bundle = build_query("q2", generator.tuples, mode=ProvenanceMode.GENEALOG)
-    Scheduler(bundle.query).run()
+    result = Pipeline(query_dataflow("q2", generator.tuples), provenance="genealog").run()
 
-    print(f"\n{bundle.sink.count} accident alert(s) raised.")
-    for record in bundle.capture.records():
+    print(f"\n{result.sink.count} accident alert(s) raised.")
+    for record in result.provenance_records():
         position = record.sink_values["last_pos"]
         cars = defaultdict(list)
         for source in record.sources:
@@ -59,7 +57,7 @@ def main() -> None:
             stamps = ", ".join(f"{ts:.0f}s" for ts in sorted(timestamps))
             print(f"    {car_id}: stopped reports at {stamps}")
 
-    sizes = [record.source_count for record in bundle.capture.records()]
+    sizes = [record.source_count for record in result.provenance_records()]
     if sizes:
         print(
             f"\nOn average {sum(sizes) / len(sizes):.1f} source tuples contribute to "

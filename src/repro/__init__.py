@@ -1,7 +1,10 @@
 """Reproduction of *GeneaLog: Fine-Grained Data Streaming Provenance at the Edge*.
 
-The package is organised in four layers:
+The package is organised in five layers:
 
+* :mod:`repro.api` -- the primary user-facing surface: a fluent dataflow DSL
+  and the ``Pipeline`` facade that handles provenance splicing, scheduling
+  and distributed placement in one call.
 * :mod:`repro.spe` -- a lightweight, deterministic stream processing engine
   (the substrate the paper runs on, in the spirit of the Liebre SPE).
 * :mod:`repro.core` -- the paper's contribution: GeneaLog's fixed-size
@@ -13,6 +16,7 @@ The package is organised in four layers:
   paper's figures (12, 13 and 14).
 """
 
+from repro.api import Dataflow, Pipeline, PipelineResult, Placement
 from repro.spe.tuples import StreamTuple
 from repro.spe.query import Query
 from repro.spe.scheduler import Scheduler
@@ -20,6 +24,10 @@ from repro.core.provenance import ProvenanceMode, attach_intra_process_provenanc
 from repro.core.traversal import find_provenance
 
 __all__ = [
+    "Dataflow",
+    "Pipeline",
+    "PipelineResult",
+    "Placement",
     "StreamTuple",
     "Query",
     "Scheduler",

@@ -1,0 +1,34 @@
+"""The fluent user-facing API: dataflow DSL + ``Pipeline`` facade.
+
+This package is the primary surface for building and running queries::
+
+    from repro.api import Dataflow, Pipeline
+
+    df = Dataflow("my_query")
+    df.source("reports", supplier).filter(lambda t: t["speed"] == 0).sink("alerts")
+    result = Pipeline(df, provenance="genealog").run()
+    print(result.sink.received, result.provenance_records())
+
+It lowers onto the imperative :class:`~repro.spe.query.Query`/``Operator``
+layer, which remains fully supported for custom operators and tests.
+"""
+
+from repro.api.dataflow import Dataflow, DataflowError, StreamBuilder
+from repro.api.pipeline import (
+    PROVENANCE_INSTANCE,
+    Pipeline,
+    PipelineResult,
+    Placement,
+    resolve_mode,
+)
+
+__all__ = [
+    "Dataflow",
+    "DataflowError",
+    "StreamBuilder",
+    "Pipeline",
+    "PipelineResult",
+    "Placement",
+    "PROVENANCE_INSTANCE",
+    "resolve_mode",
+]

@@ -1,0 +1,498 @@
+"""Fluent dataflow DSL: build operator DAGs without ``add_*``/``connect``.
+
+A :class:`Dataflow` is a *deferred* description of a query: every stage call
+records a node (what operator to create) and an edge (how to wire it) instead
+of mutating a :class:`~repro.spe.query.Query` directly.  The description is
+lowered onto the existing ``Query``/``Operator`` layer by
+:class:`~repro.api.pipeline.Pipeline` (or :meth:`Dataflow.build` for the
+simple single-process case), which keeps the imperative surface as the
+single execution substrate while the DSL becomes the primary authoring
+surface::
+
+    df = Dataflow("accidents")
+    (df.source("reports", supplier)
+       .filter(lambda t: t["speed"] == 0, name="stopped")
+       .aggregate(WindowSpec(size=120, advance=30), count_stops,
+                  key_function=lambda t: t["car_id"])
+       .filter(lambda t: t["count"] == 4)
+       .sink("alerts"))
+
+Non-linear DAGs use :meth:`StreamBuilder.split` (Multiplex),
+:meth:`StreamBuilder.router` (predicate-routed ports),
+:meth:`StreamBuilder.union` and :meth:`StreamBuilder.join`.  Because the
+graph is deferred, the same :class:`Dataflow` can be lowered many times --
+once per provenance technique, or split across several SPE instances by a
+:class:`~repro.api.pipeline.Placement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.spe.channels import Channel
+from repro.spe.errors import QueryValidationError
+from repro.spe.operators.aggregate import AggregateOperator, WindowSpec
+from repro.spe.operators.base import Operator
+from repro.spe.operators.filter import FilterOperator
+from repro.spe.operators.join import JoinOperator
+from repro.spe.operators.map import FlatMapOperator, MapOperator
+from repro.spe.operators.multiplex import MultiplexOperator
+from repro.spe.operators.router import RouterOperator
+from repro.spe.operators.send_receive import ReceiveOperator, SendOperator
+from repro.spe.operators.sink import SinkOperator
+from repro.spe.operators.sort import SortOperator
+from repro.spe.operators.source import SourceOperator
+from repro.spe.operators.union import UnionOperator
+from repro.spe.query import Query
+from repro.spe.tuples import StreamTuple
+
+
+class DataflowError(QueryValidationError):
+    """The dataflow description is malformed or used inconsistently."""
+
+
+@dataclass
+class _Node:
+    """One deferred operator of the dataflow."""
+
+    name: str
+    factory: Callable[[], Operator]
+    kind: str
+    #: seconds of state the operator retains (window sizes); summed by the
+    #: Pipeline to derive the MU retention of distributed deployments.
+    retention_s: float = 0.0
+    #: True for sources emitting with bounded disorder; edges leaving the
+    #: node disable the stream order check (feed them into ``.sort()``).
+    unordered: bool = False
+    #: set when the node wraps a concrete Operator instance, which can only
+    #: be lowered once.
+    instance: Optional[Operator] = None
+    #: non-empty when the node can only be lowered once; explains why.
+    single_use_reason: str = ""
+    _instantiated: bool = False
+
+    def instantiate(self) -> Operator:
+        if self.single_use_reason and self._instantiated:
+            raise DataflowError(
+                f"node {self.name!r} can only be lowered once: "
+                f"{self.single_use_reason}"
+            )
+        self._instantiated = True
+        if self.instance is not None:
+            return self.instance
+        return self.factory()
+
+
+@dataclass
+class _Edge:
+    """One deferred stream of the dataflow."""
+
+    upstream: str
+    downstream: str
+    stream_name: str = ""
+    sorted_stream: bool = True
+    #: output-port rank on the upstream operator (routers); None = declaration order.
+    out_port: Optional[int] = None
+
+
+class Dataflow:
+    """A deferred DAG of streaming operators, authored fluently."""
+
+    def __init__(self, name: str = "dataflow") -> None:
+        self.name = name
+        self._nodes: Dict[str, _Node] = {}
+        self._edges: List[_Edge] = []
+        self._counters: Dict[str, int] = {}
+
+    # -- node bookkeeping -----------------------------------------------------
+    def _fresh_name(self, kind: str) -> str:
+        while True:
+            self._counters[kind] = self._counters.get(kind, 0) + 1
+            name = f"{kind}_{self._counters[kind]}"
+            if name not in self._nodes:
+                return name
+
+    def _add_node(
+        self,
+        kind: str,
+        name: Optional[str],
+        factory: Callable[[], Operator],
+        retention_s: float = 0.0,
+        unordered: bool = False,
+        instance: Optional[Operator] = None,
+        single_use_reason: str = "",
+    ) -> "StreamBuilder":
+        node_name = name or self._fresh_name(kind)
+        if node_name in self._nodes:
+            raise DataflowError(
+                f"dataflow {self.name!r} already has a stage named {node_name!r}"
+            )
+        if instance is not None and not single_use_reason:
+            single_use_reason = (
+                "it wraps a concrete operator instance; pass a factory to "
+                "lower repeatedly"
+            )
+        self._nodes[node_name] = _Node(
+            name=node_name,
+            factory=factory,
+            kind=kind,
+            retention_s=retention_s,
+            unordered=unordered,
+            instance=instance,
+            single_use_reason=single_use_reason,
+        )
+        return StreamBuilder(self, node_name)
+
+    def _add_edge(
+        self,
+        upstream: str,
+        downstream: str,
+        stream_name: str = "",
+        out_port: Optional[int] = None,
+    ) -> None:
+        sorted_stream = not self._nodes[upstream].unordered
+        self._edges.append(
+            _Edge(
+                upstream=upstream,
+                downstream=downstream,
+                stream_name=stream_name,
+                sorted_stream=sorted_stream,
+                out_port=out_port,
+            )
+        )
+
+    # -- entry points -----------------------------------------------------------
+    def source(
+        self,
+        name: str,
+        supplier,
+        batch_size: int = 64,
+        enforce_order: bool = True,
+    ) -> "StreamBuilder":
+        """Start a stream from ``supplier`` (iterable or callable).
+
+        Pass ``enforce_order=False`` for suppliers with bounded disorder and
+        follow with :meth:`StreamBuilder.sort`.
+        """
+        # A bare iterator is exhausted by its first lowering; a second one
+        # would silently read nothing, so fail loudly instead.  Lists and
+        # callables stay re-lowerable.
+        single_use_reason = (
+            "its supplier is a one-shot iterator (exhausted by the first "
+            "run); pass a list or a callable returning a fresh iterable"
+            if hasattr(supplier, "__next__")
+            else ""
+        )
+        return self._add_node(
+            "source",
+            name,
+            lambda: SourceOperator(
+                name, supplier, batch_size=batch_size, enforce_order=enforce_order
+            ),
+            unordered=not enforce_order,
+            single_use_reason=single_use_reason,
+        )
+
+    def receive(self, name: str, channel: Channel) -> "StreamBuilder":
+        """Start a stream from an inter-process ``channel`` (explicit wiring)."""
+        return self._add_node("receive", name, lambda: ReceiveOperator(name, channel))
+
+    def stage(self, operator, name: Optional[str] = None) -> "StreamBuilder":
+        """Register a custom input-less operator (instance or factory)."""
+        return self._custom_node(operator, name)
+
+    def _custom_node(self, operator, name: Optional[str]) -> "StreamBuilder":
+        if isinstance(operator, Operator):
+            return self._add_node(
+                "custom", name or operator.name, lambda: operator, instance=operator
+            )
+        if not callable(operator):
+            raise DataflowError(
+                "custom stages take an Operator instance or a zero-argument factory"
+            )
+        return self._add_node("custom", name, operator)
+
+    # -- introspection ----------------------------------------------------------
+    @property
+    def node_names(self) -> List[str]:
+        """Names of every stage, in declaration order."""
+        return list(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def builder(self, name: str) -> "StreamBuilder":
+        """A :class:`StreamBuilder` positioned on an existing stage."""
+        if name not in self._nodes:
+            raise DataflowError(f"dataflow {self.name!r} has no stage named {name!r}")
+        return StreamBuilder(self, name)
+
+    def retention_s(self) -> float:
+        """Total seconds of operator state (sum of all window sizes)."""
+        return sum(node.retention_s for node in self._nodes.values())
+
+    def sink_names(self) -> List[str]:
+        """Names of the declared Sink stages, in declaration order."""
+        return [n.name for n in self._nodes.values() if n.kind == "sink"]
+
+    def source_names(self) -> List[str]:
+        """Names of the declared Source stages, in declaration order."""
+        return [n.name for n in self._nodes.values() if n.kind == "source"]
+
+    # -- lowering ---------------------------------------------------------------
+    def ordered_edges(self) -> List[_Edge]:
+        """Edges in an order consistent with declared input and output ports.
+
+        Input ports follow edge declaration order (the SPE convention: the
+        Join's left input is the first ``connect``); output ports follow
+        ``out_port`` where set (router ports), declaration order otherwise.
+        """
+        edges = list(self._edges)
+        indices = {id(edge): index for index, edge in enumerate(edges)}
+        before: Dict[int, List[_Edge]] = {id(edge): [] for edge in edges}
+        # (a) same downstream: declaration order defines input ports.
+        by_downstream: Dict[str, List[_Edge]] = {}
+        for edge in edges:
+            by_downstream.setdefault(edge.downstream, []).append(edge)
+        for group in by_downstream.values():
+            for earlier, later in zip(group, group[1:]):
+                before[id(later)].append(earlier)
+        # (b) same upstream with explicit ports: port rank defines output ports.
+        by_upstream: Dict[str, List[_Edge]] = {}
+        for edge in edges:
+            if edge.out_port is not None:
+                by_upstream.setdefault(edge.upstream, []).append(edge)
+        for group in by_upstream.values():
+            ranked = sorted(group, key=lambda e: (e.out_port, indices[id(e)]))
+            for earlier, later in zip(ranked, ranked[1:]):
+                before[id(later)].append(earlier)
+        # Stable Kahn over the edge-precedence graph.
+        remaining = {id(edge): len(before[id(edge)]) for edge in edges}
+        dependants: Dict[int, List[_Edge]] = {id(edge): [] for edge in edges}
+        for edge in edges:
+            for dependency in before[id(edge)]:
+                dependants[id(dependency)].append(edge)
+        ready = [edge for edge in edges if remaining[id(edge)] == 0]
+        ordered: List[_Edge] = []
+        while ready:
+            ready.sort(key=lambda e: indices[id(e)])
+            edge = ready.pop(0)
+            ordered.append(edge)
+            for dependant in dependants[id(edge)]:
+                remaining[id(dependant)] -= 1
+                if remaining[id(dependant)] == 0:
+                    ready.append(dependant)
+        if len(ordered) != len(edges):
+            raise DataflowError(
+                f"dataflow {self.name!r} declares conflicting port orders"
+            )
+        return ordered
+
+    def lower_into(self, query: Query) -> Dict[str, Operator]:
+        """Instantiate every stage into ``query``; return name -> operator."""
+        operators = {
+            node.name: query.add(node.instantiate()) for node in self._nodes.values()
+        }
+        for edge in self.ordered_edges():
+            query.connect(
+                operators[edge.upstream],
+                operators[edge.downstream],
+                name=edge.stream_name,
+                sorted_stream=edge.sorted_stream,
+            )
+        return operators
+
+    def build(self, validate: bool = True) -> Query:
+        """Lower the dataflow into a fresh single-process :class:`Query`."""
+        query = Query(self.name)
+        self.lower_into(query)
+        if validate:
+            query.validate()
+        return query
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataflow(name={self.name!r}, stages={len(self._nodes)}, "
+            f"edges={len(self._edges)})"
+        )
+
+
+@dataclass(frozen=True)
+class StreamBuilder:
+    """A position in the dataflow: the output of one stage.
+
+    Every method appends a stage downstream of this position and returns a
+    new builder on the added stage, so calls chain.  Calling two methods on
+    the *same* builder fans the stream out (only valid on stages with
+    multiple output ports, e.g. :meth:`split`).
+    """
+
+    dataflow: Dataflow
+    node: str
+    #: output-port rank used when the stage routes by port (see :meth:`router`).
+    out_port: Optional[int] = None
+
+    # -- plumbing ---------------------------------------------------------------
+    def _then(
+        self,
+        kind: str,
+        name: Optional[str],
+        factory: Callable[[], Operator],
+        retention_s: float = 0.0,
+        stream_name: str = "",
+    ) -> "StreamBuilder":
+        builder = self.dataflow._add_node(kind, name, factory, retention_s=retention_s)
+        self.dataflow._add_edge(
+            self.node, builder.node, stream_name=stream_name, out_port=self.out_port
+        )
+        return builder
+
+    def to(self, other: "StreamBuilder", stream_name: str = "") -> "StreamBuilder":
+        """Wire this stream into an already-declared stage (e.g. a union)."""
+        if other.dataflow is not self.dataflow:
+            raise DataflowError("cannot connect stages of different dataflows")
+        self.dataflow._add_edge(
+            self.node, other.node, stream_name=stream_name, out_port=self.out_port
+        )
+        return other
+
+    # -- stateless stages -------------------------------------------------------
+    def map(self, function, name: Optional[str] = None) -> "StreamBuilder":
+        """Apply a one-to-one transformation."""
+        stage = name or self.dataflow._fresh_name("map")
+        return self._then("map", stage, lambda: MapOperator(stage, function))
+
+    def flat_map(self, function, name: Optional[str] = None) -> "StreamBuilder":
+        """Apply a one-to-many transformation."""
+        stage = name or self.dataflow._fresh_name("flatmap")
+        return self._then("flatmap", stage, lambda: FlatMapOperator(stage, function))
+
+    def filter(self, predicate, name: Optional[str] = None) -> "StreamBuilder":
+        """Keep only the tuples satisfying ``predicate``."""
+        stage = name or self.dataflow._fresh_name("filter")
+        return self._then("filter", stage, lambda: FilterOperator(stage, predicate))
+
+    def sort(
+        self, slack: float, drop_violations: bool = False, name: Optional[str] = None
+    ) -> "StreamBuilder":
+        """Re-order a stream with bounded disorder (place after unordered sources)."""
+        stage = name or self.dataflow._fresh_name("sort")
+        return self._then(
+            "sort", stage, lambda: SortOperator(stage, slack, drop_violations=drop_violations)
+        )
+
+    # -- windowed stages ---------------------------------------------------------
+    def aggregate(
+        self,
+        window: WindowSpec,
+        aggregate_function,
+        key_function=None,
+        contributors_function=None,
+        name: Optional[str] = None,
+    ) -> "StreamBuilder":
+        """Aggregate over a sliding window, optionally grouped by key."""
+        stage = name or self.dataflow._fresh_name("aggregate")
+        return self._then(
+            "aggregate",
+            stage,
+            lambda: AggregateOperator(
+                stage,
+                window,
+                aggregate_function,
+                key_function,
+                contributors_function=contributors_function,
+            ),
+            retention_s=window.size,
+        )
+
+    def join(
+        self,
+        other: "StreamBuilder",
+        window_size: float,
+        predicate,
+        combiner,
+        name: Optional[str] = None,
+    ) -> "StreamBuilder":
+        """Windowed join; ``self`` is the left input, ``other`` the right."""
+        if other.dataflow is not self.dataflow:
+            raise DataflowError("cannot join stages of different dataflows")
+        stage = name or self.dataflow._fresh_name("join")
+        builder = self._then(
+            "join",
+            stage,
+            lambda: JoinOperator(stage, window_size, predicate, combiner),
+            retention_s=window_size,
+        )
+        self.dataflow._add_edge(other.node, builder.node, out_port=other.out_port)
+        return builder
+
+    # -- fan-out / fan-in ---------------------------------------------------------
+    def split(self, name: Optional[str] = None) -> "StreamBuilder":
+        """Copy the stream to several consumers (Multiplex).
+
+        Chain several stages off the returned builder; each gets its own copy.
+        """
+        stage = name or self.dataflow._fresh_name("multiplex")
+        return self._then("multiplex", stage, lambda: MultiplexOperator(stage))
+
+    def router(
+        self,
+        predicates: Sequence[Optional[Callable[[StreamTuple], bool]]],
+        name: Optional[str] = None,
+    ) -> Tuple["StreamBuilder", ...]:
+        """Route by predicate (fused Multiplex + Filters).
+
+        Returns one builder per predicate; builder ``i`` carries the tuples
+        satisfying ``predicates[i]`` (``None`` = pass everything).
+        """
+        stage = name or self.dataflow._fresh_name("router")
+        predicates = list(predicates)
+        builder = self._then(
+            "router", stage, lambda: RouterOperator(stage, predicates)
+        )
+        return tuple(
+            StreamBuilder(self.dataflow, builder.node, out_port=port)
+            for port in range(len(predicates))
+        )
+
+    def union(self, *others: "StreamBuilder", name: Optional[str] = None) -> "StreamBuilder":
+        """Merge this stream with ``others`` into one timestamp-ordered stream."""
+        stage = name or self.dataflow._fresh_name("union")
+        builder = self._then("union", stage, lambda: UnionOperator(stage))
+        for other in others:
+            if other.dataflow is not self.dataflow:
+                raise DataflowError("cannot union stages of different dataflows")
+            self.dataflow._add_edge(other.node, builder.node, out_port=other.out_port)
+        return builder
+
+    # -- custom stages ------------------------------------------------------------
+    def pipe(self, operator, name: Optional[str] = None) -> "StreamBuilder":
+        """Insert a custom operator (an instance or a zero-argument factory)."""
+        builder = self.dataflow._custom_node(operator, name)
+        self.dataflow._add_edge(self.node, builder.node, out_port=self.out_port)
+        return builder
+
+    # -- terminals ---------------------------------------------------------------
+    def sink(
+        self,
+        name: Optional[str] = None,
+        callback: Optional[Callable[[StreamTuple], None]] = None,
+        keep_tuples: bool = True,
+    ) -> "StreamBuilder":
+        """Terminate the stream in a Sink collecting (or forwarding) results."""
+        stage = name or self.dataflow._fresh_name("sink")
+        return self._then(
+            "sink",
+            stage,
+            lambda: SinkOperator(stage, callback=callback, keep_tuples=keep_tuples),
+        )
+
+    def send(self, channel: Channel, name: Optional[str] = None) -> "StreamBuilder":
+        """Terminate the stream in a Send writing to ``channel`` (explicit wiring)."""
+        stage = name or self.dataflow._fresh_name("send")
+        return self._then("send", stage, lambda: SendOperator(stage, channel))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        port = f", port={self.out_port}" if self.out_port is not None else ""
+        return f"StreamBuilder({self.dataflow.name!r} @ {self.node!r}{port})"

@@ -1,0 +1,649 @@
+"""The ``Pipeline`` facade: one entry point from dataflow to results.
+
+A :class:`Pipeline` takes a :class:`~repro.api.dataflow.Dataflow`, a
+provenance technique and an optional :class:`Placement`, and hides all the
+deployment mechanics the examples used to hand-wire:
+
+* **intra-process** (no placement): the dataflow is lowered into one
+  :class:`~repro.spe.query.Query`, provenance capture is spliced in with
+  :func:`~repro.core.provenance.attach_intra_process_provenance` (an SU
+  operator plus a provenance Sink per data Sink, Theorem 5.3), and the
+  deterministic :class:`~repro.spe.scheduler.Scheduler` runs it.
+* **inter-process** (with a placement): the dataflow is partitioned into
+  :class:`~repro.spe.instance.SPEInstance` processes, Send/Receive pairs are
+  inserted on every edge crossing a process boundary, and -- depending on the
+  technique -- GeneaLog's SU/MU machinery (section 6) or the Ariadne-style
+  baseline's source shipping is spliced in before a dedicated provenance
+  instance is appended.  The :class:`~repro.spe.runtime.DistributedRuntime`
+  runs the deployment.
+
+Either way :meth:`Pipeline.run` returns a :class:`PipelineResult` bundling
+the sinks, the collected provenance records and the transfer statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.dataflow import Dataflow, DataflowError
+from repro.core.baseline import BaselineProvenanceResolver
+from repro.core.multi_unfolder import attach_mu
+from repro.core.provenance import (
+    ProvenanceCapture,
+    ProvenanceCollector,
+    ProvenanceMode,
+    ProvenanceRecord,
+    attach_intra_process_provenance,
+    create_manager,
+)
+from repro.core.unfolder import attach_su
+from repro.spe.channels import Channel
+from repro.spe.instance import SPEInstance
+from repro.spe.operators.base import Operator
+from repro.spe.operators.sink import SinkOperator
+from repro.spe.operators.source import SourceOperator
+from repro.spe.provenance_api import ProvenanceManager
+from repro.spe.query import Query
+from repro.spe.runtime import DistributedRuntime
+from repro.spe.scheduler import Scheduler
+
+#: name of the dedicated provenance instance of distributed deployments.
+PROVENANCE_INSTANCE = "provenance_node"
+
+def traversal_times_by_instance(
+    managers: Mapping[str, ProvenanceManager],
+) -> Dict[str, List[float]]:
+    """Contribution-graph traversal samples grouped by SPE instance name."""
+    times: Dict[str, List[float]] = {}
+    for name, manager in managers.items():
+        samples = list(getattr(manager, "traversal_times_s", []))
+        if samples:
+            times[name] = samples
+    return times
+
+
+def resolve_mode(provenance: Union[str, ProvenanceMode]) -> ProvenanceMode:
+    """Accept ``"none"``/``"genealog"``/``"baseline"``, NP/GL/BL, or the enum."""
+    if isinstance(provenance, ProvenanceMode):
+        return provenance
+    # from_label matches both the paper's NP/GL/BL labels and the
+    # (case-insensitive) enum member names NONE/GENEALOG/BASELINE.
+    return ProvenanceMode.from_label(provenance)
+
+
+class Placement:
+    """Maps dataflow stages onto named SPE instances.
+
+    ``assignments`` is an ordered mapping ``instance name -> stage names``;
+    every stage of the dataflow must be assigned to exactly one instance.
+    ``links`` optionally names the edges that cross instance boundaries
+    (``(upstream stage, downstream stage) -> label``); the label determines
+    the channel / Send / Receive names (``send_<label>`` etc.).  Unnamed cut
+    edges are labelled after their upstream stage.
+    """
+
+    def __init__(
+        self,
+        assignments: Mapping[str, Sequence[str]],
+        links: Optional[Mapping[Tuple[str, str], str]] = None,
+    ) -> None:
+        if not assignments:
+            raise DataflowError("a placement needs at least one instance")
+        if PROVENANCE_INSTANCE in assignments:
+            raise DataflowError(
+                f"instance name {PROVENANCE_INSTANCE!r} is reserved for the "
+                "provenance instance added by the pipeline"
+            )
+        self.assignments: Dict[str, Tuple[str, ...]] = {
+            instance: tuple(stages) for instance, stages in assignments.items()
+        }
+        self.links: Dict[Tuple[str, str], str] = dict(links or {})
+
+    def instance_of(self) -> Dict[str, str]:
+        """Stage name -> instance name; raise on double assignment."""
+        owner: Dict[str, str] = {}
+        for instance, stages in self.assignments.items():
+            for stage in stages:
+                if stage in owner:
+                    raise DataflowError(
+                        f"stage {stage!r} is assigned to both {owner[stage]!r} "
+                        f"and {instance!r}"
+                    )
+                owner[stage] = instance
+        return owner
+
+    def validate_against(self, dataflow: Dataflow) -> Dict[str, str]:
+        """Check the placement covers ``dataflow`` exactly; return the owner map."""
+        owner = self.instance_of()
+        missing = [name for name in dataflow.node_names if name not in owner]
+        if missing:
+            raise DataflowError(
+                f"placement does not assign stage(s) {missing!r} of dataflow "
+                f"{dataflow.name!r} to an instance"
+            )
+        unknown = [name for name in owner if name not in dataflow]
+        if unknown:
+            raise DataflowError(
+                f"placement assigns unknown stage(s) {unknown!r}; dataflow "
+                f"{dataflow.name!r} declares {dataflow.node_names!r}"
+            )
+        return owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Placement(instances={list(self.assignments)!r})"
+
+
+@dataclass
+class PipelineResult:
+    """Everything a built (and possibly run) pipeline exposes."""
+
+    mode: ProvenanceMode
+    deployment: str  # "intra" or "inter"
+    fused: bool
+    #: the lowered query (intra-process deployments only).
+    query: Optional[Query] = None
+    #: the lowered SPE instances (inter-process; provenance instance last).
+    instances: List[SPEInstance] = field(default_factory=list)
+    #: the dataflow's declared Sources / data Sinks (not provenance sinks).
+    sources: List[SourceOperator] = field(default_factory=list)
+    sinks: List[SinkOperator] = field(default_factory=list)
+    #: intra-process provenance capture (None for inter-process).
+    capture: Optional[ProvenanceCapture] = None
+    #: inter-process provenance collector (None intra / with mode NP).
+    collector: Optional[ProvenanceCollector] = None
+    managers: Dict[str, ProvenanceManager] = field(default_factory=dict)
+    channels: List[Channel] = field(default_factory=list)
+    #: scheduler passes / runtime rounds executed by :meth:`Pipeline.run`.
+    rounds: int = 0
+
+    # -- convenience -------------------------------------------------------------
+    @property
+    def source(self) -> SourceOperator:
+        """The single Source (raises when the dataflow declares several)."""
+        (source,) = self.sources
+        return source
+
+    @property
+    def sink(self) -> SinkOperator:
+        """The single data Sink (raises when the dataflow declares several)."""
+        (sink,) = self.sinks
+        return sink
+
+    def provenance_records(self) -> List[ProvenanceRecord]:
+        """All provenance records, wherever they were collected."""
+        if self.capture is not None:
+            return self.capture.records()
+        if self.collector is not None:
+            return self.collector.records()
+        return []
+
+    def traversal_times_s(self) -> List[float]:
+        """Per-sink-tuple contribution-graph traversal times (seconds)."""
+        if self.capture is not None:
+            return self.capture.traversal_times_s()
+        return [
+            sample
+            for samples in self.traversal_times_by_instance().values()
+            for sample in samples
+        ]
+
+    def traversal_times_by_instance(self) -> Dict[str, List[float]]:
+        """Traversal times grouped by SPE instance (inter-process)."""
+        return traversal_times_by_instance(self.managers)
+
+    def bytes_transferred(self) -> int:
+        """Bytes that crossed any inter-instance channel."""
+        return sum(channel.bytes_sent for channel in self.channels)
+
+    def tuples_transferred(self) -> int:
+        """Tuples that crossed any inter-instance channel."""
+        return sum(channel.tuples_sent for channel in self.channels)
+
+
+class Pipeline:
+    """Build and run a dataflow under one provenance technique and placement.
+
+    ``provenance`` is ``"none"``/``"genealog"``/``"baseline"`` (or the
+    paper's NP/GL/BL labels, or a :class:`ProvenanceMode`).  ``placement``
+    selects the deployment: ``None`` runs everything in one process with the
+    :class:`Scheduler`; a :class:`Placement` deploys onto several SPE
+    instances run by the :class:`DistributedRuntime`.  ``retention`` (seconds
+    of provenance the MU / baseline resolver must retain) defaults to the sum
+    of the dataflow's window sizes.
+    """
+
+    def __init__(
+        self,
+        dataflow: Dataflow,
+        provenance: Union[str, ProvenanceMode] = "none",
+        placement: Optional[Placement] = None,
+        fused: bool = True,
+        retention: Optional[float] = None,
+        keep_unfolded_tuples: bool = False,
+    ) -> None:
+        self.dataflow = dataflow
+        self.mode = resolve_mode(provenance)
+        self.placement = placement
+        self.fused = fused
+        self.retention = retention
+        self.keep_unfolded_tuples = keep_unfolded_tuples
+        self._result: Optional[PipelineResult] = None
+
+    # -- building ----------------------------------------------------------------
+    def build(self) -> PipelineResult:
+        """Lower, splice provenance and validate; idempotent."""
+        if self._result is None:
+            if self.placement is None:
+                self._result = self._build_intra()
+            else:
+                self._result = self._build_inter()
+        return self._result
+
+    def _build_intra(self) -> PipelineResult:
+        query = Query(self.dataflow.name)
+        operators = self.dataflow.lower_into(query)
+        sources = [operators[name] for name in self.dataflow.source_names()]
+        sinks = [operators[name] for name in self.dataflow.sink_names()]
+        capture = attach_intra_process_provenance(
+            query,
+            self.mode,
+            fused=self.fused,
+            keep_unfolded_tuples=self.keep_unfolded_tuples,
+        )
+        query.validate()
+        return PipelineResult(
+            mode=self.mode,
+            deployment="intra",
+            fused=self.fused,
+            query=query,
+            sources=sources,
+            sinks=sinks,
+            capture=capture,
+            managers={"local": capture.manager},
+        )
+
+    def _build_inter(self) -> PipelineResult:
+        builder = _DistributedBuilder(
+            self.dataflow,
+            self.placement,
+            self.mode,
+            fused=self.fused,
+            retention=self.retention,
+            keep_unfolded_tuples=self.keep_unfolded_tuples,
+        )
+        return builder.build()
+
+    # -- running -----------------------------------------------------------------
+    def run(
+        self,
+        round_callback=None,
+        callback_every: int = 16,
+        max_rounds: int = 10_000_000,
+    ) -> PipelineResult:
+        """Build (if needed) and run to quiescence; return the result.
+
+        ``round_callback`` is invoked every ``callback_every`` scheduler
+        passes / runtime rounds (e.g. for memory sampling).
+        """
+        result = self.build()
+        if result.deployment == "intra":
+            scheduler = Scheduler(
+                result.query,
+                max_passes=max_rounds,
+                pass_callback=round_callback,
+                callback_every=callback_every,
+            )
+            scheduler.run()
+            result.rounds = scheduler.passes
+        else:
+            runtime = DistributedRuntime(
+                result.instances,
+                max_rounds=max_rounds,
+                round_callback=round_callback,
+                callback_every=callback_every,
+            )
+            runtime.run()
+            result.rounds = runtime.rounds
+        return result
+
+
+class _DistributedBuilder:
+    """Lowers a dataflow onto SPE instances and splices provenance plumbing.
+
+    Generalises the hand-written three-instance deployments of the paper's
+    evaluation (Figures 7, 9C, 10C, 11C): Send/Receive pairs at every cut
+    edge, SU operators in front of every Send and Sink under GeneaLog plus an
+    MU on a dedicated provenance instance, and source/sink stream shipping to
+    a source-store resolver under the Ariadne-style baseline.
+    """
+
+    def __init__(
+        self,
+        dataflow: Dataflow,
+        placement: Placement,
+        mode: ProvenanceMode,
+        fused: bool,
+        retention: Optional[float],
+        keep_unfolded_tuples: bool = False,
+    ) -> None:
+        self.dataflow = dataflow
+        self.placement = placement
+        self.mode = mode
+        self.fused = fused
+        self.retention = (
+            retention if retention is not None else dataflow.retention_s()
+        )
+        self.keep_unfolded_tuples = keep_unfolded_tuples
+        self.instances: Dict[str, SPEInstance] = {}
+        self.managers: Dict[str, ProvenanceManager] = {}
+        self.channels: List[Channel] = []
+        self.operators: Dict[str, Operator] = {}
+        #: (instance, send, label) per cut edge, in declaration order.
+        self._cut_sends: List[Tuple[SPEInstance, Operator, str]] = []
+        self._upstream_channels: List[Channel] = []
+        self._derived_channel: Optional[Channel] = None
+        self._bl_source_channels: List[Channel] = []
+        self._bl_sink_channel: Optional[Channel] = None
+        self.collector: Optional[ProvenanceCollector] = None
+
+    # -- helpers -----------------------------------------------------------------
+    def _channel(self, label: str) -> Channel:
+        channel = Channel(f"{self.dataflow.name}_{label}")
+        self.channels.append(channel)
+        return channel
+
+    def _new_instance(self, name: str) -> SPEInstance:
+        instance = SPEInstance(name)
+        self.instances[name] = instance
+        self.managers[name] = create_manager(self.mode, node_id=name)
+        instance.set_provenance(self.managers[name])
+        return instance
+
+    def _owning(self, operator: Operator) -> SPEInstance:
+        for instance in self.instances.values():
+            if operator.name in instance:
+                return instance
+        raise DataflowError(f"operator {operator.name!r} is not placed")  # pragma: no cover
+
+    # -- lowering ----------------------------------------------------------------
+    #: channel labels the provenance splicing claims for itself.
+    _RESERVED_LABELS = frozenset({"derived", "annotated_sinks", "sources"})
+
+    @classmethod
+    def _label_reserved(cls, label: str) -> bool:
+        return (
+            label in cls._RESERVED_LABELS
+            or label.startswith("upstream_")
+            or label.startswith("sources_")
+        )
+
+    def _cut_label(self, edge, used: set) -> str:
+        """The channel label of a cut edge; explicit labels must be unique."""
+        explicit = self.placement.links.get((edge.upstream, edge.downstream))
+        if explicit is not None:
+            if self._label_reserved(explicit):
+                raise DataflowError(
+                    f"placement link label {explicit!r} is reserved for the "
+                    "provenance plumbing ('derived', 'annotated_sinks', "
+                    "'sources*', 'upstream_*'); pick another label"
+                )
+            if explicit in used:
+                raise DataflowError(
+                    f"placement link label {explicit!r} is used by more than "
+                    "one cut edge; labels must be unique"
+                )
+            return explicit
+        candidates = [
+            edge.upstream,
+            f"{edge.upstream}_{edge.downstream}",
+            # the "link_" prefix can never collide with a reserved label.
+            f"link_{edge.upstream}_{edge.downstream}",
+        ]
+        for label in candidates:
+            if label not in used and not self._label_reserved(label):
+                return label
+        suffix = 2
+        while True:
+            label = f"link_{edge.upstream}_{edge.downstream}_{suffix}"
+            if label not in used:
+                return label
+            suffix += 1
+
+    def build(self) -> PipelineResult:
+        owner = self.placement.validate_against(self.dataflow)
+        for instance_name in self.placement.assignments:
+            self._new_instance(instance_name)
+        for node_name in self.dataflow.node_names:
+            instance = self.instances[owner[node_name]]
+            self.operators[node_name] = instance.add(
+                self.dataflow._nodes[node_name].instantiate()
+            )
+        used_labels: set = set()
+        cut_edges: set = set()
+        for edge in self.dataflow.ordered_edges():
+            upstream_instance = self.instances[owner[edge.upstream]]
+            downstream_instance = self.instances[owner[edge.downstream]]
+            upstream_op = self.operators[edge.upstream]
+            downstream_op = self.operators[edge.downstream]
+            if upstream_instance is downstream_instance:
+                upstream_instance.connect(
+                    upstream_op,
+                    downstream_op,
+                    name=edge.stream_name,
+                    sorted_stream=edge.sorted_stream,
+                )
+                continue
+            cut_edges.add((edge.upstream, edge.downstream))
+            label = self._cut_label(edge, used_labels)
+            used_labels.add(label)
+            channel = self._channel(label)
+            send = upstream_instance.add_send(f"send_{label}", channel)
+            upstream_instance.connect(
+                upstream_op, send, sorted_stream=edge.sorted_stream
+            )
+            receive = downstream_instance.add_receive(f"receive_{label}", channel)
+            downstream_instance.connect(
+                receive, downstream_op, sorted_stream=edge.sorted_stream
+            )
+            self._cut_sends.append((upstream_instance, send, label))
+        stale_links = [key for key in self.placement.links if key not in cut_edges]
+        if stale_links:
+            raise DataflowError(
+                f"placement link(s) {stale_links!r} do not name any edge that "
+                "crosses an instance boundary (check for typos or edges placed "
+                "on a single instance)"
+            )
+
+        sources = [self.operators[name] for name in self.dataflow.source_names()]
+        sinks = [self.operators[name] for name in self.dataflow.sink_names()]
+
+        if self.mode is ProvenanceMode.GENEALOG:
+            self._splice_genealog(sinks)
+        elif self.mode is ProvenanceMode.BASELINE:
+            self._splice_baseline(sources, sinks)
+        self._build_provenance_instance()
+
+        for instance in self.instances.values():
+            # Operators spliced in after instance creation (SU, Send, MU, ...)
+            # must also use the instance's provenance manager.
+            instance.set_provenance(self.managers[instance.name])
+            instance.validate()
+
+        return PipelineResult(
+            mode=self.mode,
+            deployment="inter",
+            fused=self.fused,
+            instances=list(self.instances.values()),
+            sources=sources,
+            sinks=sinks,
+            collector=self.collector,
+            managers=self.managers,
+            channels=self.channels,
+        )
+
+    # -- GeneaLog splicing (section 6) --------------------------------------------
+    def _require_ordered(self, stream, producer: Operator) -> None:
+        """Provenance operators need timestamp-ordered input (section 2).
+
+        GeneaLog's guarantees rest on deterministic, timestamp-ordered
+        processing; splicing SU/MU (or the baseline's source shipping) onto a
+        stream with bounded disorder would feed them out-of-order tuples, so
+        refuse at build time with guidance instead of crashing mid-run.
+        """
+        if not stream.enforce_order:
+            raise DataflowError(
+                f"cannot splice provenance capture onto the unordered stream "
+                f"leaving {producer.name!r}: GeneaLog/baseline provenance "
+                "requires timestamp-ordered streams; place the sort() stage "
+                "before any instance boundary, Sink or shipped source stream"
+            )
+
+    @staticmethod
+    def _restore_output_port(producer: Operator, port: int) -> None:
+        """Move ``producer``'s newest output stream back to position ``port``.
+
+        Splicing disconnects one of ``producer``'s output streams and
+        reconnects a replacement, which ``connect`` appends at the end.  For
+        port-sensitive producers (Router: output ``i`` carries predicate
+        ``i``) the replacement must take the removed stream's slot.
+        """
+        producer.outputs.insert(port, producer.outputs.pop())
+
+    def _splice_su_before(
+        self, instance: SPEInstance, consumer: Operator, su_name: str
+    ) -> Operator:
+        """Re-route ``consumer``'s input through a fresh SU; return its U side."""
+        stream = consumer.inputs[0]
+        producer = instance.producer_of(stream)
+        self._require_ordered(stream, producer)
+        port = producer.outputs.index(stream)
+        instance.disconnect(stream)
+        data_out, unfolded_out = attach_su(
+            instance, producer, name=su_name, fused=self.fused
+        )
+        self._restore_output_port(producer, port)
+        instance.connect(data_out, consumer)
+        return unfolded_out
+
+    def _splice_genealog(self, sinks: List[SinkOperator]) -> None:
+        for instance, send, label in self._cut_sends:
+            unfolded_out = self._splice_su_before(instance, send, f"su_{label}")
+            upstream_channel = self._channel(f"upstream_{label}")
+            upstream_send = instance.add_send(
+                f"send_upstream_{label}", upstream_channel
+            )
+            instance.connect(unfolded_out, upstream_send)
+            self._upstream_channels.append(upstream_channel)
+        if len(sinks) != 1:
+            raise DataflowError(
+                "distributed provenance capture needs exactly one data Sink; "
+                f"dataflow {self.dataflow.name!r} declares {len(sinks)}"
+            )
+        sink = sinks[0]
+        instance = self._owning(sink)
+        unfolded_out = self._splice_su_before(instance, sink, f"su_{sink.name}")
+        self._derived_channel = self._channel("derived")
+        derived_send = instance.add_send("send_derived", self._derived_channel)
+        instance.connect(unfolded_out, derived_send)
+
+    # -- baseline splicing ----------------------------------------------------------
+    def _splice_baseline(
+        self, sources: List[SourceOperator], sinks: List[SinkOperator]
+    ) -> None:
+        if len(sinks) != 1:
+            raise DataflowError(
+                "distributed provenance capture needs exactly one data Sink; "
+                f"dataflow {self.dataflow.name!r} declares {len(sinks)}"
+            )
+        if not sources:
+            raise DataflowError(
+                "baseline provenance needs at least one Source stage to ship "
+                f"to the source store; dataflow {self.dataflow.name!r} "
+                "declares none (Receive-fed fragments cannot use it)"
+            )
+        for index, source in enumerate(sources):
+            instance = self._owning(source)
+            label = "sources" if len(sources) == 1 else f"sources_{index}"
+            multiplex = instance.add_multiplex(f"{label}_multiplex")
+            if source.outputs:
+                stream = source.outputs[0]
+                self._require_ordered(stream, source)
+                consumer = next(op for op in instance.operators if stream in op.inputs)
+                # the re-routed stream must keep the consumer's input port
+                # (the Join's left/right sides are positional).
+                input_port = consumer.inputs.index(stream)
+                instance.disconnect(stream)
+                instance.connect(source, multiplex)
+                instance.connect(multiplex, consumer)
+                consumer.inputs.insert(input_port, consumer.inputs.pop())
+            else:
+                instance.connect(source, multiplex)
+            channel = self._channel(label)
+            send = instance.add_send(f"send_{label}", channel)
+            instance.connect(multiplex, send)
+            self._bl_source_channels.append(channel)
+        sink = sinks[0]
+        instance = self._owning(sink)
+        stream = sink.inputs[0]
+        producer = instance.producer_of(stream)
+        port = producer.outputs.index(stream)
+        instance.disconnect(stream)
+        multiplex = instance.add_multiplex(f"{sink.name}_multiplex")
+        instance.connect(producer, multiplex)
+        self._restore_output_port(producer, port)
+        instance.connect(multiplex, sink)
+        self._bl_sink_channel = self._channel("annotated_sinks")
+        sink_send = instance.add_send("send_annotated_sinks", self._bl_sink_channel)
+        instance.connect(multiplex, sink_send)
+
+    # -- the provenance instance ----------------------------------------------------
+    def _build_provenance_instance(self) -> None:
+        if self.mode is ProvenanceMode.NONE:
+            return
+        instance = self._new_instance(PROVENANCE_INSTANCE)
+        self.collector = ProvenanceCollector(name=self.dataflow.name)
+        provenance_sink = instance.add_sink(
+            "provenance_sink",
+            callback=self.collector.add,
+            keep_tuples=self.keep_unfolded_tuples,
+        )
+        if self.mode is ProvenanceMode.GENEALOG:
+            ports = attach_mu(
+                instance,
+                retention=self.retention,
+                upstream_count=len(self._upstream_channels),
+                name="mu",
+                fused=self.fused,
+            )
+            derived_receive = instance.add_receive(
+                "receive_derived", self._derived_channel
+            )
+            instance.connect(derived_receive, ports.derived_entry)
+            for index, channel in enumerate(self._upstream_channels):
+                upstream_receive = instance.add_receive(
+                    f"receive_upstream_{index}", channel
+                )
+                instance.connect(upstream_receive, ports.upstream_entry)
+            instance.connect(ports.output, provenance_sink)
+        else:  # BASELINE
+            resolver = instance.add(
+                BaselineProvenanceResolver("baseline_resolver", retention=self.retention)
+            )
+            if len(self._bl_source_channels) > 1:
+                source_union = instance.add_union("source_union")
+                instance.connect(source_union, resolver)
+                for index, channel in enumerate(self._bl_source_channels):
+                    receive = instance.add_receive(f"receive_sources_{index}", channel)
+                    instance.connect(receive, source_union)
+            else:
+                receive = instance.add_receive(
+                    "receive_sources_0", self._bl_source_channels[0]
+                )
+                instance.connect(receive, resolver)
+            sink_receive = instance.add_receive(
+                "receive_annotated_sinks", self._bl_sink_channel
+            )
+            instance.connect(sink_receive, resolver)
+            instance.connect(resolver, provenance_sink)
+        instance.set_provenance(self.managers[instance.name])

@@ -32,6 +32,7 @@ from repro.core.unfolder import (
     SINK_TS_FIELD,
     attach_su,
 )
+from repro.spe.errors import QueryValidationError
 from repro.spe.operators.sink import SinkOperator
 from repro.spe.provenance_api import NoProvenance, ProvenanceManager
 from repro.spe.query import Query
@@ -200,10 +201,25 @@ def attach_intra_process_provenance(
         if not sink.inputs:
             continue
         feeding_stream = sink.inputs[0]
-        producer, _ = query.disconnect(feeding_stream)
+        producer = query.producer_of(feeding_stream)
+        if not feeding_stream.enforce_order:
+            # GeneaLog's guarantees rest on timestamp-ordered processing; an
+            # SU fed out of order would unfold wrong provenance.  Fail at
+            # build time instead of with a StreamOrderError mid-run.
+            raise QueryValidationError(
+                f"cannot splice provenance capture onto the unordered stream "
+                f"feeding sink {sink.name!r}; place a Sort operator between "
+                f"{producer.name!r} and the sink"
+            )
+        port = producer.outputs.index(feeding_stream)
+        query.disconnect(feeding_stream)
         data_out, unfolded_out = attach_su(
             query, producer, name=f"su_{sink.name}", fused=fused
         )
+        # attach_su appended the SU's input stream to producer.outputs; move
+        # it back to the disconnected stream's slot so port-sensitive
+        # producers (Router: output i carries predicate i) keep routing.
+        producer.outputs.insert(port, producer.outputs.pop())
         query.connect(data_out, sink)
         collector = ProvenanceCollector(name=sink.name)
         provenance_sink = query.add_sink(

@@ -1,7 +1,8 @@
 """Run one experiment cell and collect the paper's metrics.
 
-The harness builds the requested query (intra- or inter-process), runs it to
-completion on the synthetic workload, and collects:
+The harness deploys the requested query through the fluent
+:class:`~repro.api.pipeline.Pipeline` facade (intra- or inter-process), runs
+it to completion on the synthetic workload, and collects:
 
 * throughput (source tuples per wall-clock second),
 * per-sink-tuple latency,
@@ -26,11 +27,9 @@ from repro.experiments.config import (
     workload_config_for,
 )
 from repro.spe.metrics import MemorySampler, RunMetrics, merge_metrics
-from repro.spe.runtime import DistributedRuntime
-from repro.spe.scheduler import Scheduler
 from repro.spe.tuples import StreamTuple
 from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
-from repro.workloads.queries import build_distributed_query, build_query
+from repro.workloads.queries import query_pipeline
 from repro.workloads.smart_grid import SmartGridConfig, SmartGridGenerator
 
 #: how many scheduler passes between two memory samples.
@@ -55,30 +54,31 @@ def run_intra_process(
 ) -> RunMetrics:
     """Run ``query_name`` in a single SPE instance and collect metrics."""
     workload = workload or workload_config_for(query_name, scale)
-    bundle = build_query(query_name, make_supplier(workload), mode=mode, fused=fused)
+    pipeline = query_pipeline(
+        query_name, make_supplier(workload), mode=mode, deployment="intra", fused=fused
+    )
+    pipeline.build()
     metrics = RunMetrics(query=query_name, technique=mode.label, deployment="intra")
 
     sampler = MemorySampler()
     sampler.start()
-    scheduler = Scheduler(
-        bundle.query,
-        pass_callback=lambda _: sampler.sample(),
+    started = time.perf_counter()
+    result = pipeline.run(
+        round_callback=lambda _: sampler.sample(),
         callback_every=MEMORY_SAMPLE_EVERY,
     )
-    started = time.perf_counter()
-    scheduler.run()
     metrics.wall_time_s = time.perf_counter() - started
     sampler.sample()
     sampler.stop()
 
-    metrics.source_tuples = bundle.source.tuples_out
-    metrics.sink_tuples = bundle.sink.count
-    metrics.latencies_s = list(bundle.sink.latencies)
+    metrics.source_tuples = result.source.tuples_out
+    metrics.sink_tuples = result.sink.count
+    metrics.latencies_s = list(result.sink.latencies)
     metrics.memory_samples_bytes = list(sampler.samples_bytes)
     metrics.memory_peak_bytes = sampler.max_bytes
-    metrics.traversal_times_s = bundle.capture.traversal_times_s()
+    metrics.traversal_times_s = result.traversal_times_s()
     metrics.provenance_sizes = [
-        record.source_count for record in bundle.capture.records()
+        record.source_count for record in result.provenance_records()
     ]
     return metrics
 
@@ -92,40 +92,39 @@ def run_inter_process(
 ) -> RunMetrics:
     """Run ``query_name`` on the three-instance deployment and collect metrics."""
     workload = workload or workload_config_for(query_name, scale)
-    bundle = build_distributed_query(
-        query_name, make_supplier(workload), mode=mode, fused=fused
+    pipeline = query_pipeline(
+        query_name, make_supplier(workload), mode=mode, deployment="inter", fused=fused
     )
+    pipeline.build()
     metrics = RunMetrics(query=query_name, technique=mode.label, deployment="inter")
 
     sampler = MemorySampler()
     sampler.start()
-    runtime = DistributedRuntime(
-        bundle.instances,
+    started = time.perf_counter()
+    result = pipeline.run(
         round_callback=lambda _: sampler.sample(),
         callback_every=MEMORY_SAMPLE_EVERY,
     )
-    started = time.perf_counter()
-    runtime.run()
     metrics.wall_time_s = time.perf_counter() - started
     sampler.sample()
     sampler.stop()
 
-    metrics.source_tuples = bundle.source.tuples_out
-    metrics.sink_tuples = bundle.sink.count
-    metrics.latencies_s = list(bundle.sink.latencies)
+    metrics.source_tuples = result.source.tuples_out
+    metrics.sink_tuples = result.sink.count
+    metrics.latencies_s = list(result.sink.latencies)
     metrics.memory_samples_bytes = list(sampler.samples_bytes)
     metrics.memory_peak_bytes = sampler.max_bytes
-    metrics.per_instance_traversal_s = bundle.traversal_times_by_instance()
+    metrics.per_instance_traversal_s = result.traversal_times_by_instance()
     metrics.traversal_times_s = [
         sample
         for samples in metrics.per_instance_traversal_s.values()
         for sample in samples
     ]
     metrics.provenance_sizes = [
-        record.source_count for record in bundle.provenance_records()
+        record.source_count for record in result.provenance_records()
     ]
-    metrics.bytes_transferred = runtime.total_bytes_transferred()
-    metrics.tuples_transferred = runtime.total_tuples_transferred()
+    metrics.bytes_transferred = result.bytes_transferred()
+    metrics.tuples_transferred = result.tuples_transferred()
     return metrics
 
 

@@ -153,9 +153,21 @@ class Query:
         stream; it is meant for the connection between an out-of-order Source
         and its SortOperator.
         """
-        if upstream.name not in self._by_name or downstream.name not in self._by_name:
+        missing = [
+            op.name
+            for op in (upstream, downstream)
+            if self._by_name.get(op.name) is not op
+        ]
+        if missing:
             raise QueryValidationError(
-                "both operators must be added to the query before connecting them"
+                f"cannot connect {upstream.name!r} -> {downstream.name!r}: "
+                f"operator(s) {', '.join(repr(name) for name in missing)} "
+                f"not added to query {self.name!r}"
+            )
+        if upstream is downstream:
+            raise QueryValidationError(
+                f"cannot connect operator {upstream.name!r} to itself "
+                f"(self-loops are not allowed in query {self.name!r})"
             )
         stream = Stream(
             name=name or f"{upstream.name}->{downstream.name}",

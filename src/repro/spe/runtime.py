@@ -12,6 +12,7 @@ fully deterministic.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.spe.channels import Channel
@@ -63,9 +64,9 @@ class DistributedRuntime:
                 indegree[downstream] += 1
         order: List[SPEInstance] = [i for i in self.instances if indegree[i] == 0]
         values: Dict[SPEInstance, int] = {i: 0 for i in order}
-        queue = list(order)
+        queue = deque(order)
         while queue:
-            instance = queue.pop(0)
+            instance = queue.popleft()
             for downstream in edges[instance]:
                 candidate = values[instance] + 1
                 if candidate > values.get(downstream, -1):

@@ -13,10 +13,15 @@ from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
 from repro.workloads.smart_grid import SmartGridConfig, SmartGridGenerator
 from repro.workloads.queries import (
     QUERY_BUILDERS,
+    QUERY_DATAFLOWS,
+    QUERY_PLACEMENTS,
     QueryBundle,
     DistributedBundle,
     build_query,
     build_distributed_query,
+    query_dataflow,
+    query_pipeline,
+    query_placement,
 )
 
 __all__ = [
@@ -25,8 +30,13 @@ __all__ = [
     "SmartGridConfig",
     "SmartGridGenerator",
     "QUERY_BUILDERS",
+    "QUERY_DATAFLOWS",
+    "QUERY_PLACEMENTS",
     "QueryBundle",
     "DistributedBundle",
     "build_query",
     "build_distributed_query",
+    "query_dataflow",
+    "query_pipeline",
+    "query_placement",
 ]

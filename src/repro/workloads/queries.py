@@ -1,16 +1,19 @@
-"""The four evaluation queries of the paper (Q1-Q4).
+"""The four evaluation queries of the paper (Q1-Q4), built with the fluent API.
 
-Each query is provided in two deployments, mirroring section 7:
+Each query is described once as a :class:`~repro.api.dataflow.Dataflow`
+(:func:`query_dataflow`) and deployed through the
+:class:`~repro.api.pipeline.Pipeline` facade in two ways, mirroring
+section 7:
 
 * **intra-process** (:func:`build_query`): every operator in one SPE
-  instance; provenance capture (when enabled) is added with
-  :func:`repro.core.provenance.attach_intra_process_provenance`, i.e. an SU
-  operator in front of every Sink (Theorem 5.3).
+  instance; provenance capture (when enabled) is spliced in by the pipeline
+  (an SU operator in front of every Sink, Theorem 5.3).
 * **inter-process** (:func:`build_distributed_query`): the three-instance
-  deployments of Figures 7, 9C, 10C and 11C -- two processing instances plus
-  one provenance instance hosting the MU operator (GeneaLog) or the
-  source-store join (baseline).  Under "no provenance" only the two
-  processing instances exist.
+  deployments of Figures 7, 9C, 10C and 11C, expressed as a
+  :class:`~repro.api.pipeline.Placement` (:data:`QUERY_PLACEMENTS`) -- two
+  processing instances plus one provenance instance hosting the MU operator
+  (GeneaLog) or the source-store join (baseline).  Under "no provenance"
+  only the two processing instances exist.
 
 The queries themselves:
 
@@ -30,20 +33,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.baseline import BaselineProvenanceResolver
-from repro.core.multi_unfolder import attach_mu
+from repro.api.dataflow import Dataflow
+from repro.api.pipeline import (
+    Pipeline,
+    PipelineResult,
+    Placement,
+    traversal_times_by_instance,
+)
 from repro.core.provenance import (
     ProvenanceCapture,
     ProvenanceCollector,
     ProvenanceMode,
-    attach_intra_process_provenance,
-    create_manager,
 )
-from repro.core.unfolder import attach_su
 from repro.spe.channels import Channel
 from repro.spe.instance import SPEInstance
 from repro.spe.operators.aggregate import WindowSpec
-from repro.spe.operators.base import Operator
 from repro.spe.operators.sink import SinkOperator
 from repro.spe.operators.source import SourceOperator
 from repro.spe.provenance_api import ProvenanceManager
@@ -137,7 +141,182 @@ def anomaly_alert(tup: StreamTuple) -> bool:
 
 
 # ---------------------------------------------------------------------------
-# intra-process (single SPE instance) builders
+# the queries as fluent dataflows
+# ---------------------------------------------------------------------------
+
+
+def q1_dataflow(supplier) -> Dataflow:
+    """Q1 - detecting broken-down cars (Figure 1)."""
+    df = Dataflow("q1")
+    (df.source("source", supplier)
+       .filter(lambda t: t["speed"] == 0, name="stopped_filter")
+       .aggregate(
+           WindowSpec(size=120.0, advance=30.0),
+           stopped_car_aggregate,
+           key_function=lambda t: t["car_id"],
+           name="stop_aggregate",
+       )
+       .filter(stopped_car_alert, name="alert_filter")
+       .sink("sink"))
+    return df
+
+
+def q2_dataflow(supplier) -> Dataflow:
+    """Q2 - detecting accidents (Figure 9A)."""
+    df = Dataflow("q2")
+    (df.source("source", supplier)
+       .filter(lambda t: t["speed"] == 0, name="stopped_filter")
+       .aggregate(
+           WindowSpec(size=120.0, advance=30.0),
+           stopped_car_aggregate,
+           key_function=lambda t: t["car_id"],
+           name="stop_aggregate",
+       )
+       .filter(stopped_car_alert, name="stopped_alert_filter")
+       .aggregate(
+           WindowSpec(size=30.0, advance=30.0),
+           accident_aggregate,
+           key_function=lambda t: t["last_pos"],
+           name="accident_aggregate",
+       )
+       .filter(accident_alert, name="accident_alert_filter")
+       .sink("sink"))
+    return df
+
+
+def q3_dataflow(supplier) -> Dataflow:
+    """Q3 - long-term blackout detection (Figure 10A)."""
+    df = Dataflow("q3")
+    (df.source("source", supplier)
+       .aggregate(
+           WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY),
+           daily_consumption_aggregate,
+           key_function=lambda t: t["meter_id"],
+           name="daily_aggregate",
+       )
+       .filter(zero_consumption, name="zero_filter")
+       .aggregate(
+           WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY),
+           blackout_count_aggregate,
+           name="blackout_aggregate",
+       )
+       .filter(blackout_alert, name="blackout_alert_filter")
+       .sink("sink"))
+    return df
+
+
+def q4_dataflow(supplier) -> Dataflow:
+    """Q4 - meter anomaly detection (Figure 11A)."""
+    df = Dataflow("q4")
+    split = df.source("source", supplier).split(name="multiplex")
+    daily = split.aggregate(
+        WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY, emit_at="end"),
+        daily_consumption_aggregate,
+        key_function=lambda t: t["meter_id"],
+        name="daily_aggregate",
+    )
+    midnight = split.filter(midnight_measurement, name="midnight_filter")
+    (daily.join(
+         midnight,
+         window_size=SECONDS_PER_HOUR,
+         predicate=same_meter,
+         combiner=consumption_difference,
+         name="anomaly_join",
+     )
+     .filter(anomaly_alert, name="anomaly_alert_filter")
+     .sink("sink"))
+    return df
+
+
+#: query name -> fluent dataflow factory.
+QUERY_DATAFLOWS: Dict[str, Callable[..., Dataflow]] = {
+    "q1": q1_dataflow,
+    "q2": q2_dataflow,
+    "q3": q3_dataflow,
+    "q4": q4_dataflow,
+}
+
+#: query name -> the three-instance placement of Figures 7, 9C, 10C and 11C.
+QUERY_PLACEMENTS: Dict[str, Placement] = {
+    "q1": Placement(
+        {
+            "spe1": ("source", "stopped_filter"),
+            "spe2": ("stop_aggregate", "alert_filter", "sink"),
+        },
+        links={("stopped_filter", "stop_aggregate"): "data"},
+    ),
+    "q2": Placement(
+        {
+            "spe1": ("source", "stopped_filter", "stop_aggregate", "stopped_alert_filter"),
+            "spe2": ("accident_aggregate", "accident_alert_filter", "sink"),
+        },
+        links={("stopped_alert_filter", "accident_aggregate"): "data"},
+    ),
+    "q3": Placement(
+        {
+            "spe1": ("source", "daily_aggregate", "zero_filter"),
+            "spe2": ("blackout_aggregate", "blackout_alert_filter", "sink"),
+        },
+        links={("zero_filter", "blackout_aggregate"): "data"},
+    ),
+    "q4": Placement(
+        {
+            "spe1": ("source", "multiplex", "daily_aggregate", "midnight_filter"),
+            "spe2": ("anomaly_join", "anomaly_alert_filter", "sink"),
+        },
+        links={
+            ("daily_aggregate", "anomaly_join"): "daily",
+            ("midnight_filter", "anomaly_join"): "midnight",
+        },
+    ),
+}
+
+#: query name -> sum of the window sizes of its stateful operators (seconds).
+QUERY_WINDOW_SUMS: Dict[str, float] = {
+    "q1": 120.0,
+    "q2": 150.0,
+    "q3": 2 * SECONDS_PER_DAY,
+    "q4": SECONDS_PER_DAY + SECONDS_PER_HOUR,
+}
+
+
+def query_dataflow(name: str, supplier) -> Dataflow:
+    """The fluent dataflow of query ``name`` ("q1".."q4") over ``supplier``."""
+    try:
+        factory = QUERY_DATAFLOWS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown query {name!r}; expected one of {QUERY_NAMES}") from None
+    return factory(supplier)
+
+
+def query_placement(name: str) -> Placement:
+    """The paper's three-instance placement of query ``name``."""
+    try:
+        return QUERY_PLACEMENTS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown query {name!r}; expected one of {QUERY_NAMES}") from None
+
+
+def query_pipeline(
+    name: str,
+    supplier,
+    mode: ProvenanceMode = ProvenanceMode.NONE,
+    deployment: str = "intra",
+    fused: bool = True,
+) -> Pipeline:
+    """A ready-to-run :class:`Pipeline` for query ``name``.
+
+    ``deployment`` is ``"intra"`` (single process, deterministic Scheduler)
+    or ``"inter"`` (the paper's three-instance DistributedRuntime deployment).
+    """
+    if deployment not in ("intra", "inter"):
+        raise ValueError(f"unknown deployment {deployment!r}; expected 'intra' or 'inter'")
+    placement = query_placement(name) if deployment == "inter" else None
+    return Pipeline(query_dataflow(name, supplier), provenance=mode, placement=placement, fused=fused)
+
+
+# ---------------------------------------------------------------------------
+# legacy-shaped bundles (the stable result surface of the builders below)
 # ---------------------------------------------------------------------------
 
 
@@ -154,175 +333,6 @@ class QueryBundle:
     def provenance_records(self):
         """Provenance records collected for the query's Sink."""
         return self.capture.records()
-
-
-def _finish_intra(
-    query: Query,
-    source: SourceOperator,
-    sink: SinkOperator,
-    mode: ProvenanceMode,
-    fused: bool,
-) -> QueryBundle:
-    capture = attach_intra_process_provenance(query, mode, fused=fused)
-    query.validate()
-    return QueryBundle(query=query, source=source, sink=sink, capture=capture)
-
-
-def build_q1(
-    supplier,
-    mode: ProvenanceMode = ProvenanceMode.NONE,
-    fused: bool = True,
-) -> QueryBundle:
-    """Q1 - detecting broken-down cars (Figure 1)."""
-    query = Query("q1")
-    source = query.add_source("source", supplier)
-    stopped = query.add_filter("stopped_filter", lambda t: t["speed"] == 0)
-    aggregate = query.add_aggregate(
-        "stop_aggregate",
-        WindowSpec(size=120.0, advance=30.0),
-        stopped_car_aggregate,
-        key_function=lambda t: t["car_id"],
-    )
-    alert = query.add_filter("alert_filter", stopped_car_alert)
-    sink = query.add_sink("sink")
-    query.connect(source, stopped)
-    query.connect(stopped, aggregate)
-    query.connect(aggregate, alert)
-    query.connect(alert, sink)
-    return _finish_intra(query, source, sink, mode, fused)
-
-
-def build_q2(
-    supplier,
-    mode: ProvenanceMode = ProvenanceMode.NONE,
-    fused: bool = True,
-) -> QueryBundle:
-    """Q2 - detecting accidents (Figure 9A)."""
-    query = Query("q2")
-    source = query.add_source("source", supplier)
-    stopped = query.add_filter("stopped_filter", lambda t: t["speed"] == 0)
-    aggregate = query.add_aggregate(
-        "stop_aggregate",
-        WindowSpec(size=120.0, advance=30.0),
-        stopped_car_aggregate,
-        key_function=lambda t: t["car_id"],
-    )
-    alert = query.add_filter("stopped_alert_filter", stopped_car_alert)
-    accident = query.add_aggregate(
-        "accident_aggregate",
-        WindowSpec(size=30.0, advance=30.0),
-        accident_aggregate,
-        key_function=lambda t: t["last_pos"],
-    )
-    accident_filter = query.add_filter("accident_alert_filter", accident_alert)
-    sink = query.add_sink("sink")
-    query.connect(source, stopped)
-    query.connect(stopped, aggregate)
-    query.connect(aggregate, alert)
-    query.connect(alert, accident)
-    query.connect(accident, accident_filter)
-    query.connect(accident_filter, sink)
-    return _finish_intra(query, source, sink, mode, fused)
-
-
-def build_q3(
-    supplier,
-    mode: ProvenanceMode = ProvenanceMode.NONE,
-    fused: bool = True,
-) -> QueryBundle:
-    """Q3 - long-term blackout detection (Figure 10A)."""
-    query = Query("q3")
-    source = query.add_source("source", supplier)
-    daily = query.add_aggregate(
-        "daily_aggregate",
-        WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY),
-        daily_consumption_aggregate,
-        key_function=lambda t: t["meter_id"],
-    )
-    zero = query.add_filter("zero_filter", zero_consumption)
-    count = query.add_aggregate(
-        "blackout_aggregate",
-        WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY),
-        blackout_count_aggregate,
-    )
-    alert = query.add_filter("blackout_alert_filter", blackout_alert)
-    sink = query.add_sink("sink")
-    query.connect(source, daily)
-    query.connect(daily, zero)
-    query.connect(zero, count)
-    query.connect(count, alert)
-    query.connect(alert, sink)
-    return _finish_intra(query, source, sink, mode, fused)
-
-
-def build_q4(
-    supplier,
-    mode: ProvenanceMode = ProvenanceMode.NONE,
-    fused: bool = True,
-) -> QueryBundle:
-    """Q4 - meter anomaly detection (Figure 11A)."""
-    query = Query("q4")
-    source = query.add_source("source", supplier)
-    multiplex = query.add_multiplex("multiplex")
-    daily = query.add_aggregate(
-        "daily_aggregate",
-        WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY, emit_at="end"),
-        daily_consumption_aggregate,
-        key_function=lambda t: t["meter_id"],
-    )
-    midnight = query.add_filter("midnight_filter", midnight_measurement)
-    join = query.add_join(
-        "anomaly_join",
-        window_size=SECONDS_PER_HOUR,
-        predicate=same_meter,
-        combiner=consumption_difference,
-    )
-    alert = query.add_filter("anomaly_alert_filter", anomaly_alert)
-    sink = query.add_sink("sink")
-    query.connect(source, multiplex)
-    query.connect(multiplex, daily)
-    query.connect(multiplex, midnight)
-    query.connect(daily, join)
-    query.connect(midnight, join)
-    query.connect(join, alert)
-    query.connect(alert, sink)
-    return _finish_intra(query, source, sink, mode, fused)
-
-
-#: query name -> intra-process builder.
-QUERY_BUILDERS: Dict[str, Callable[..., QueryBundle]] = {
-    "q1": build_q1,
-    "q2": build_q2,
-    "q3": build_q3,
-    "q4": build_q4,
-}
-
-#: query name -> sum of the window sizes of its stateful operators (seconds).
-QUERY_WINDOW_SUMS: Dict[str, float] = {
-    "q1": 120.0,
-    "q2": 150.0,
-    "q3": 2 * SECONDS_PER_DAY,
-    "q4": SECONDS_PER_DAY + SECONDS_PER_HOUR,
-}
-
-
-def build_query(
-    name: str,
-    supplier,
-    mode: ProvenanceMode = ProvenanceMode.NONE,
-    fused: bool = True,
-) -> QueryBundle:
-    """Build the intra-process deployment of query ``name`` ("q1".."q4")."""
-    try:
-        builder = QUERY_BUILDERS[name.lower()]
-    except KeyError:
-        raise ValueError(f"unknown query {name!r}; expected one of {QUERY_NAMES}") from None
-    return builder(supplier, mode=mode, fused=fused)
-
-
-# ---------------------------------------------------------------------------
-# inter-process (three SPE instances) builders
-# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -343,326 +353,72 @@ class DistributedBundle:
 
     def traversal_times_by_instance(self) -> Dict[str, List[float]]:
         """Per-instance contribution-graph traversal times (seconds)."""
-        times: Dict[str, List[float]] = {}
-        for name, manager in self.managers.items():
-            samples = list(getattr(manager, "traversal_times_s", []))
-            if samples:
-                times[name] = samples
-        return times
+        return traversal_times_by_instance(self.managers)
 
 
-class _DistributedAssembler:
-    """Shared plumbing for the three-instance deployments of Q1-Q4."""
-
-    def __init__(self, query_name: str, mode: ProvenanceMode, fused: bool) -> None:
-        self.query_name = query_name
-        self.mode = mode
-        self.fused = fused
-        self.retention = QUERY_WINDOW_SUMS[query_name]
-        self.instances: List[SPEInstance] = []
-        self.managers: Dict[str, ProvenanceManager] = {}
-        self.channels: List[Channel] = []
-        self.collector: Optional[ProvenanceCollector] = None
-        self.provenance_instance: Optional[SPEInstance] = None
-        self._upstream_channels: List[Channel] = []
-        self._derived_channel: Optional[Channel] = None
-        self._bl_source_channels: List[Channel] = []
-        self._bl_sink_channel: Optional[Channel] = None
-
-    # -- instances --------------------------------------------------------------
-    def new_instance(self, name: str) -> SPEInstance:
-        instance = SPEInstance(name)
-        manager = create_manager(self.mode, node_id=name)
-        self.managers[name] = manager
-        self.instances.append(instance)
-        instance.set_provenance(manager)
-        return instance
-
-    def channel(self, name: str) -> Channel:
-        channel = Channel(f"{self.query_name}_{name}")
-        self.channels.append(channel)
-        return channel
-
-    # -- provenance-aware wiring helpers -------------------------------------------
-    def connect_to_send(
-        self, instance: SPEInstance, producer: Operator, channel: Channel, label: str
-    ) -> None:
-        """Wire ``producer`` to a Send, inserting an SU first under GeneaLog."""
-        send = instance.add_send(f"send_{label}", channel)
-        if self.mode is ProvenanceMode.GENEALOG:
-            data_out, unfolded_out = attach_su(
-                instance, producer, name=f"su_{label}", fused=self.fused
-            )
-            instance.connect(data_out, send)
-            upstream_channel = self.channel(f"upstream_{label}")
-            upstream_send = instance.add_send(f"send_upstream_{label}", upstream_channel)
-            instance.connect(unfolded_out, upstream_send)
-            self._upstream_channels.append(upstream_channel)
-        else:
-            instance.connect(producer, send)
-
-    def connect_to_sink(
-        self, instance: SPEInstance, producer: Operator, sink_name: str = "sink"
-    ) -> SinkOperator:
-        """Wire ``producer`` to the data Sink, adding provenance plumbing."""
-        sink = instance.add_sink(sink_name)
-        if self.mode is ProvenanceMode.GENEALOG:
-            data_out, unfolded_out = attach_su(
-                instance, producer, name=f"su_{sink_name}", fused=self.fused
-            )
-            instance.connect(data_out, sink)
-            derived_channel = self.channel("derived")
-            derived_send = instance.add_send("send_derived", derived_channel)
-            instance.connect(unfolded_out, derived_send)
-            self._derived_channel = derived_channel
-        elif self.mode is ProvenanceMode.BASELINE:
-            multiplex = instance.add_multiplex(f"{sink_name}_multiplex")
-            instance.connect(producer, multiplex)
-            instance.connect(multiplex, sink)
-            sink_channel = self.channel("annotated_sinks")
-            sink_send = instance.add_send("send_annotated_sinks", sink_channel)
-            instance.connect(multiplex, sink_send)
-            self._bl_sink_channel = sink_channel
-        else:
-            instance.connect(producer, sink)
-        return sink
-
-    def ship_source_stream(
-        self, instance: SPEInstance, source: SourceOperator, label: str = "sources"
-    ) -> Operator:
-        """Under BL, copy the raw source stream towards the provenance node.
-
-        Returns the operator downstream logic should read the source stream
-        from (the Multiplex under BL, the Source itself otherwise).
-        """
-        if self.mode is not ProvenanceMode.BASELINE:
-            return source
-        multiplex = instance.add_multiplex(f"{label}_multiplex")
-        instance.connect(source, multiplex)
-        channel = self.channel(label)
-        send = instance.add_send(f"send_{label}", channel)
-        instance.connect(multiplex, send)
-        self._bl_source_channels.append(channel)
-        return multiplex
-
-    # -- provenance instance ------------------------------------------------------------
-    def build_provenance_instance(self) -> None:
-        """Create the third ("provenance") instance, if the mode needs one."""
-        if self.mode is ProvenanceMode.NONE:
-            return
-        instance = self.new_instance("provenance_node")
-        self.provenance_instance = instance
-        self.collector = ProvenanceCollector(name=self.query_name)
-        provenance_sink = instance.add_sink(
-            "provenance_sink", callback=self.collector.add, keep_tuples=False
-        )
-        if self.mode is ProvenanceMode.GENEALOG:
-            ports = attach_mu(
-                instance,
-                retention=self.retention,
-                upstream_count=len(self._upstream_channels),
-                name="mu",
-                fused=self.fused,
-            )
-            derived_receive = instance.add_receive("receive_derived", self._derived_channel)
-            instance.connect(derived_receive, ports.derived_entry)
-            for index, channel in enumerate(self._upstream_channels):
-                upstream_receive = instance.add_receive(f"receive_upstream_{index}", channel)
-                instance.connect(upstream_receive, ports.upstream_entry)
-            instance.connect(ports.output, provenance_sink)
-        else:  # BASELINE
-            resolver = instance.add(
-                BaselineProvenanceResolver("baseline_resolver", retention=self.retention)
-            )
-            source_entry: Operator = resolver
-            if len(self._bl_source_channels) > 1:
-                source_union = instance.add_union("source_union")
-                instance.connect(source_union, resolver)
-                source_entry = source_union
-                for index, channel in enumerate(self._bl_source_channels):
-                    receive = instance.add_receive(f"receive_sources_{index}", channel)
-                    instance.connect(receive, source_union)
-            else:
-                receive = instance.add_receive("receive_sources_0", self._bl_source_channels[0])
-                instance.connect(receive, resolver)
-            sink_receive = instance.add_receive("receive_annotated_sinks", self._bl_sink_channel)
-            instance.connect(sink_receive, resolver)
-            instance.connect(resolver, provenance_sink)
-        instance.set_provenance(self.managers[instance.name])
-
-    def finish(self, source: SourceOperator, sink: SinkOperator) -> DistributedBundle:
-        self.build_provenance_instance()
-        for instance in self.instances:
-            # Operators added after new_instance() (SU, Send, MU, ...) must
-            # also use the instance's provenance manager.
-            instance.set_provenance(self.managers[instance.name])
-            instance.validate()
-        return DistributedBundle(
-            mode=self.mode,
-            instances=self.instances,
-            source=source,
-            sink=sink,
-            collector=self.collector,
-            managers=self.managers,
-            channels=self.channels,
-        )
-
-
-def build_q1_distributed(
-    supplier, mode: ProvenanceMode = ProvenanceMode.NONE, fused: bool = True
-) -> DistributedBundle:
-    """Q1 deployed on three SPE instances (Figure 7)."""
-    assembler = _DistributedAssembler("q1", mode, fused)
-
-    spe1 = assembler.new_instance("spe1")
-    source = spe1.add_source("source", supplier)
-    upstream_of_filter = assembler.ship_source_stream(spe1, source)
-    stopped = spe1.add_filter("stopped_filter", lambda t: t["speed"] == 0)
-    spe1.connect(upstream_of_filter, stopped)
-    data_channel = assembler.channel("data")
-    assembler.connect_to_send(spe1, stopped, data_channel, label="data")
-
-    spe2 = assembler.new_instance("spe2")
-    receive = spe2.add_receive("receive_data", data_channel)
-    aggregate = spe2.add_aggregate(
-        "stop_aggregate",
-        WindowSpec(size=120.0, advance=30.0),
-        stopped_car_aggregate,
-        key_function=lambda t: t["car_id"],
+def _as_query_bundle(result: PipelineResult) -> QueryBundle:
+    return QueryBundle(
+        query=result.query,
+        source=result.source,
+        sink=result.sink,
+        capture=result.capture,
     )
-    alert = spe2.add_filter("alert_filter", stopped_car_alert)
-    spe2.connect(receive, aggregate)
-    spe2.connect(aggregate, alert)
-    sink = assembler.connect_to_sink(spe2, alert)
-
-    return assembler.finish(source, sink)
 
 
-def build_q2_distributed(
-    supplier, mode: ProvenanceMode = ProvenanceMode.NONE, fused: bool = True
-) -> DistributedBundle:
-    """Q2 deployed on three SPE instances (Figure 9C)."""
-    assembler = _DistributedAssembler("q2", mode, fused)
-
-    spe1 = assembler.new_instance("spe1")
-    source = spe1.add_source("source", supplier)
-    upstream_of_filter = assembler.ship_source_stream(spe1, source)
-    stopped = spe1.add_filter("stopped_filter", lambda t: t["speed"] == 0)
-    aggregate = spe1.add_aggregate(
-        "stop_aggregate",
-        WindowSpec(size=120.0, advance=30.0),
-        stopped_car_aggregate,
-        key_function=lambda t: t["car_id"],
+def _as_distributed_bundle(result: PipelineResult) -> DistributedBundle:
+    return DistributedBundle(
+        mode=result.mode,
+        instances=result.instances,
+        source=result.source,
+        sink=result.sink,
+        collector=result.collector,
+        managers=result.managers,
+        channels=result.channels,
     )
-    alert = spe1.add_filter("stopped_alert_filter", stopped_car_alert)
-    spe1.connect(upstream_of_filter, stopped)
-    spe1.connect(stopped, aggregate)
-    spe1.connect(aggregate, alert)
-    data_channel = assembler.channel("data")
-    assembler.connect_to_send(spe1, alert, data_channel, label="data")
-
-    spe2 = assembler.new_instance("spe2")
-    receive = spe2.add_receive("receive_data", data_channel)
-    accident = spe2.add_aggregate(
-        "accident_aggregate",
-        WindowSpec(size=30.0, advance=30.0),
-        accident_aggregate,
-        key_function=lambda t: t["last_pos"],
-    )
-    accident_filter = spe2.add_filter("accident_alert_filter", accident_alert)
-    spe2.connect(receive, accident)
-    spe2.connect(accident, accident_filter)
-    sink = assembler.connect_to_sink(spe2, accident_filter)
-
-    return assembler.finish(source, sink)
 
 
-def build_q3_distributed(
-    supplier, mode: ProvenanceMode = ProvenanceMode.NONE, fused: bool = True
-) -> DistributedBundle:
-    """Q3 deployed on three SPE instances (Figure 10C)."""
-    assembler = _DistributedAssembler("q3", mode, fused)
-
-    spe1 = assembler.new_instance("spe1")
-    source = spe1.add_source("source", supplier)
-    upstream_of_daily = assembler.ship_source_stream(spe1, source)
-    daily = spe1.add_aggregate(
-        "daily_aggregate",
-        WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY),
-        daily_consumption_aggregate,
-        key_function=lambda t: t["meter_id"],
-    )
-    zero = spe1.add_filter("zero_filter", zero_consumption)
-    spe1.connect(upstream_of_daily, daily)
-    spe1.connect(daily, zero)
-    data_channel = assembler.channel("data")
-    assembler.connect_to_send(spe1, zero, data_channel, label="data")
-
-    spe2 = assembler.new_instance("spe2")
-    receive = spe2.add_receive("receive_data", data_channel)
-    count = spe2.add_aggregate(
-        "blackout_aggregate",
-        WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY),
-        blackout_count_aggregate,
-    )
-    alert = spe2.add_filter("blackout_alert_filter", blackout_alert)
-    spe2.connect(receive, count)
-    spe2.connect(count, alert)
-    sink = assembler.connect_to_sink(spe2, alert)
-
-    return assembler.finish(source, sink)
+# ---------------------------------------------------------------------------
+# intra-process (single SPE instance) builders
+# ---------------------------------------------------------------------------
 
 
-def build_q4_distributed(
-    supplier, mode: ProvenanceMode = ProvenanceMode.NONE, fused: bool = True
-) -> DistributedBundle:
-    """Q4 deployed on three SPE instances (Figure 11C)."""
-    assembler = _DistributedAssembler("q4", mode, fused)
-
-    spe1 = assembler.new_instance("spe1")
-    source = spe1.add_source("source", supplier)
-    upstream_of_multiplex = assembler.ship_source_stream(spe1, source)
-    multiplex = spe1.add_multiplex("multiplex")
-    spe1.connect(upstream_of_multiplex, multiplex)
-    daily = spe1.add_aggregate(
-        "daily_aggregate",
-        WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY, emit_at="end"),
-        daily_consumption_aggregate,
-        key_function=lambda t: t["meter_id"],
-    )
-    midnight = spe1.add_filter("midnight_filter", midnight_measurement)
-    spe1.connect(multiplex, daily)
-    spe1.connect(multiplex, midnight)
-    daily_channel = assembler.channel("daily")
-    midnight_channel = assembler.channel("midnight")
-    assembler.connect_to_send(spe1, daily, daily_channel, label="daily")
-    assembler.connect_to_send(spe1, midnight, midnight_channel, label="midnight")
-
-    spe2 = assembler.new_instance("spe2")
-    receive_daily = spe2.add_receive("receive_daily", daily_channel)
-    receive_midnight = spe2.add_receive("receive_midnight", midnight_channel)
-    join = spe2.add_join(
-        "anomaly_join",
-        window_size=SECONDS_PER_HOUR,
-        predicate=same_meter,
-        combiner=consumption_difference,
-    )
-    alert = spe2.add_filter("anomaly_alert_filter", anomaly_alert)
-    spe2.connect(receive_daily, join)
-    spe2.connect(receive_midnight, join)
-    spe2.connect(join, alert)
-    sink = assembler.connect_to_sink(spe2, alert)
-
-    return assembler.finish(source, sink)
+def build_query(
+    name: str,
+    supplier,
+    mode: ProvenanceMode = ProvenanceMode.NONE,
+    fused: bool = True,
+) -> QueryBundle:
+    """Build the intra-process deployment of query ``name`` ("q1".."q4")."""
+    pipeline = query_pipeline(name, supplier, mode=mode, deployment="intra", fused=fused)
+    return _as_query_bundle(pipeline.build())
 
 
-#: query name -> inter-process builder.
-DISTRIBUTED_BUILDERS: Dict[str, Callable[..., DistributedBundle]] = {
-    "q1": build_q1_distributed,
-    "q2": build_q2_distributed,
-    "q3": build_q3_distributed,
-    "q4": build_q4_distributed,
+def _intra_builder(name: str) -> Callable[..., QueryBundle]:
+    def build(supplier, mode: ProvenanceMode = ProvenanceMode.NONE, fused: bool = True):
+        return build_query(name, supplier, mode=mode, fused=fused)
+
+    build.__name__ = f"build_{name}"
+    build.__doc__ = QUERY_DATAFLOWS[name].__doc__
+    return build
+
+
+build_q1 = _intra_builder("q1")
+build_q2 = _intra_builder("q2")
+build_q3 = _intra_builder("q3")
+build_q4 = _intra_builder("q4")
+
+#: query name -> intra-process builder.
+QUERY_BUILDERS: Dict[str, Callable[..., QueryBundle]] = {
+    "q1": build_q1,
+    "q2": build_q2,
+    "q3": build_q3,
+    "q4": build_q4,
 }
+
+
+# ---------------------------------------------------------------------------
+# inter-process (three SPE instances) builders
+# ---------------------------------------------------------------------------
 
 
 def build_distributed_query(
@@ -672,8 +428,28 @@ def build_distributed_query(
     fused: bool = True,
 ) -> DistributedBundle:
     """Build the three-instance deployment of query ``name`` ("q1".."q4")."""
-    try:
-        builder = DISTRIBUTED_BUILDERS[name.lower()]
-    except KeyError:
-        raise ValueError(f"unknown query {name!r}; expected one of {QUERY_NAMES}") from None
-    return builder(supplier, mode=mode, fused=fused)
+    pipeline = query_pipeline(name, supplier, mode=mode, deployment="inter", fused=fused)
+    return _as_distributed_bundle(pipeline.build())
+
+
+def _inter_builder(name: str) -> Callable[..., DistributedBundle]:
+    def build(supplier, mode: ProvenanceMode = ProvenanceMode.NONE, fused: bool = True):
+        return build_distributed_query(name, supplier, mode=mode, fused=fused)
+
+    build.__name__ = f"build_{name}_distributed"
+    build.__doc__ = f"{QUERY_DATAFLOWS[name].__doc__} -- three-instance deployment."
+    return build
+
+
+build_q1_distributed = _inter_builder("q1")
+build_q2_distributed = _inter_builder("q2")
+build_q3_distributed = _inter_builder("q3")
+build_q4_distributed = _inter_builder("q4")
+
+#: query name -> inter-process builder.
+DISTRIBUTED_BUILDERS: Dict[str, Callable[..., DistributedBundle]] = {
+    "q1": build_q1_distributed,
+    "q2": build_q2_distributed,
+    "q3": build_q3_distributed,
+    "q4": build_q4_distributed,
+}
