@@ -1,0 +1,261 @@
+"""Throughput trajectory report: event-driven engine vs. the polling seed.
+
+Runs Q1-Q4 x {NP, GL, BL} x {intra, inter} and measures, per cell:
+
+* **before** -- the seed execution model: :class:`PollingScheduler` /
+  :class:`PollingDistributedRuntime` whole-graph passes with the per-tuple
+  ``peek``/``pop`` dataplane and the seed's source batch size (64),
+* **after**  -- the event-driven batch engine (the default execution core).
+
+Source tuples are materialised up front so the numbers measure *engine*
+throughput, not the random workload generators.  Results (tuples/sec,
+seed pass counts, event wake-up counts, speedups) are written to
+``BENCH_throughput.json`` at the repository root, seeding the performance
+trajectory that future perf PRs extend.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_report.py                 # small scale
+    PYTHONPATH=src python benchmarks/perf_report.py --scale smoke   # CI quick run
+    PYTHONPATH=src python benchmarks/perf_report.py --check-against BENCH_throughput.json
+
+``--check-against`` compares the measured headline speedup (event vs seed on
+the no-provenance intra-process Q1 cell) with a previously committed report
+and exits non-zero when it regressed by more than ``--tolerance`` (default
+20%).  Speedups -- not absolute tuples/sec -- are compared because absolute
+throughput depends on the machine running the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.provenance import ProvenanceMode  # noqa: E402
+from repro.experiments.config import WorkloadScale, workload_config_for  # noqa: E402
+from repro.workloads.linear_road import LinearRoadGenerator  # noqa: E402
+from repro.workloads.queries import QUERY_NAMES, query_pipeline  # noqa: E402
+from repro.workloads.smart_grid import SmartGridGenerator  # noqa: E402
+
+#: the seed's source batch size (before the event-driven engine raised it).
+SEED_SOURCE_BATCH = 64
+
+MODES = (ProvenanceMode.NONE, ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE)
+DEPLOYMENTS = ("intra", "inter")
+
+
+def materialise_workload(query_name: str, scale: WorkloadScale) -> List:
+    """Generate the cell's source tuples once, up front."""
+    config = workload_config_for(query_name, scale)
+    if query_name in ("q1", "q2"):
+        return list(LinearRoadGenerator(config).tuples())
+    return list(SmartGridGenerator(config).tuples())
+
+
+def run_cell_once(query_name, tuples, mode, deployment, execution, source_batch=None):
+    """One timed execution; returns (seconds, result)."""
+    supplier = [t.copy() for t in tuples]
+    pipeline = query_pipeline(
+        query_name, supplier, mode=mode, deployment=deployment, execution=execution
+    )
+    result = pipeline.build()
+    if source_batch is not None:
+        for source in result.sources:
+            source.batch_size = source_batch
+    started = time.perf_counter()
+    pipeline.run()
+    return time.perf_counter() - started, result
+
+
+def measure_cell(query_name, tuples, mode, deployment, repeats):
+    """Measure the before/after legs of one cell; return its report entry."""
+    legs = {}
+    for label, execution, source_batch in (
+        ("before", "polling", SEED_SOURCE_BATCH),
+        ("after", "event", None),
+    ):
+        best_seconds = float("inf")
+        best_result = None
+        for _ in range(repeats):
+            seconds, result = run_cell_once(
+                query_name, tuples, mode, deployment, execution, source_batch
+            )
+            if seconds < best_seconds:
+                best_seconds = seconds
+                best_result = result
+        legs[label] = {
+            "execution": execution,
+            "source_batch": source_batch or "default",
+            "seconds": round(best_seconds, 6),
+            "tuples_per_second": round(len(tuples) / best_seconds, 1),
+            "rounds": best_result.rounds,
+            "wakeups": best_result.wakeups,
+            "sink_tuples": sum(sink.count for sink in best_result.sinks),
+        }
+    before, after = legs["before"], legs["after"]
+    return {
+        "query": query_name,
+        "mode": mode.value,
+        "deployment": deployment,
+        "source_tuples": len(tuples),
+        "before": before,
+        "after": after,
+        "speedup": round(after["tuples_per_second"] / before["tuples_per_second"], 3),
+    }
+
+
+def build_report(scale: WorkloadScale, repeats: int) -> Dict:
+    cells = []
+    for query_name in QUERY_NAMES:
+        tuples = materialise_workload(query_name, scale)
+        for deployment in DEPLOYMENTS:
+            for mode in MODES:
+                cell = measure_cell(query_name, tuples, mode, deployment, repeats)
+                cells.append(cell)
+                print(
+                    f"{query_name} {mode.value:>2} {deployment:>5}: "
+                    f"{cell['before']['tuples_per_second']:>12,.0f} -> "
+                    f"{cell['after']['tuples_per_second']:>12,.0f} tps "
+                    f"({cell['speedup']:.2f}x, wakeups {cell['after']['wakeups']} "
+                    f"vs seed work calls {cell['before']['wakeups']})"
+                )
+    headline = next(
+        c
+        for c in cells
+        if c["query"] == "q1" and c["mode"] == "NP" and c["deployment"] == "intra"
+    )
+    return {
+        "meta": {
+            "scale": scale.value,
+            "repeats": repeats,
+            "seed_source_batch": SEED_SOURCE_BATCH,
+            "python": platform.python_version(),
+            "note": (
+                "before = seed execution (whole-graph polling passes, per-tuple "
+                "dataplane, source batch 64); after = event-driven batch engine. "
+                "Source tuples are materialised before timing. Absolute "
+                "tuples/sec are machine-dependent; compare speedups."
+            ),
+        },
+        "headline": {
+            "cell": "q1/NP/intra",
+            "speedup": headline["speedup"],
+            "before_tps": headline["before"]["tuples_per_second"],
+            "after_tps": headline["after"]["tuples_per_second"],
+            "event_wakeups": headline["after"]["wakeups"],
+            "seed_work_calls": headline["before"]["wakeups"],
+        },
+        "cells": cells,
+    }
+
+
+def check_against(report: Dict, baseline: Dict, tolerance: float) -> int:
+    """Compare the headline against a committed report; 0 = OK.
+
+    Two gates: the (machine-dependent, hence tolerance-padded) event-vs-seed
+    throughput speedup, and the fully deterministic wake-ups-per-seed-work-
+    call ratio, which catches scheduling regressions without timing noise.
+    """
+    status = 0
+    committed = baseline["headline"]["speedup"]
+    measured = report["headline"]["speedup"]
+    floor = committed * (1.0 - tolerance)
+    print(
+        f"headline q1/NP/intra speedup: measured {measured:.2f}x, "
+        f"committed {committed:.2f}x, floor {floor:.2f}x"
+    )
+    if measured < floor:
+        print("FAIL: NP-intra throughput regressed beyond tolerance", file=sys.stderr)
+        status = 1
+    else:
+        print("OK: no NP-intra throughput regression")
+
+    measured_ratio = (
+        report["headline"]["event_wakeups"] / report["headline"]["seed_work_calls"]
+    )
+    committed_ratio = (
+        baseline["headline"]["event_wakeups"] / baseline["headline"]["seed_work_calls"]
+    )
+    ceiling = committed_ratio * (1.0 + tolerance)
+    print(
+        f"headline wake-up ratio (event wake-ups / seed work calls): measured "
+        f"{measured_ratio:.3f}, committed {committed_ratio:.3f}, ceiling {ceiling:.3f}"
+    )
+    if measured_ratio > ceiling:
+        print(
+            "FAIL: event scheduler performs more wake-ups per seed work call "
+            "than the committed baseline allows",
+            file=sys.stderr,
+        )
+        status = 1
+    else:
+        print("OK: wake-up ratio within bounds (deterministic check)")
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=WorkloadScale.SMALL.value,
+        choices=[scale.value for scale in WorkloadScale],
+        help="workload size (default: small)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repetitions per leg (best-of)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_throughput.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        default=None,
+        help="committed report to compare the headline speedup against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative speedup regression for --check-against (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    # Load the committed baseline *before* writing the fresh report: with the
+    # default --output both paths are BENCH_throughput.json, and reading after
+    # the write would compare the report against itself (and lose the
+    # committed numbers).
+    baseline = None
+    if args.check_against is not None:
+        baseline = json.loads(args.check_against.read_text())
+
+    scale = WorkloadScale.from_label(args.scale)
+    report = build_report(scale, max(1, args.repeats))
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    headline = report["headline"]
+    print(
+        f"headline: {headline['cell']} {headline['before_tps']:,.0f} -> "
+        f"{headline['after_tps']:,.0f} tps ({headline['speedup']:.2f}x), "
+        f"{headline['event_wakeups']} wake-ups vs {headline['seed_work_calls']} "
+        "seed work calls"
+    )
+    if baseline is not None:
+        return check_against(report, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

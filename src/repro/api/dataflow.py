@@ -167,7 +167,7 @@ class Dataflow:
         self,
         name: str,
         supplier,
-        batch_size: int = 64,
+        batch_size: int = 256,
         enforce_order: bool = True,
     ) -> "StreamBuilder":
         """Start a stream from ``supplier`` (iterable or callable).

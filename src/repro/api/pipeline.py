@@ -45,8 +45,8 @@ from repro.spe.operators.sink import SinkOperator
 from repro.spe.operators.source import SourceOperator
 from repro.spe.provenance_api import ProvenanceManager
 from repro.spe.query import Query
-from repro.spe.runtime import DistributedRuntime
-from repro.spe.scheduler import Scheduler
+from repro.spe.runtime import DistributedRuntime, PollingDistributedRuntime
+from repro.spe.scheduler import PollingScheduler, Scheduler
 
 #: name of the dedicated provenance instance of distributed deployments.
 PROVENANCE_INSTANCE = "provenance_node"
@@ -155,7 +155,13 @@ class PipelineResult:
     managers: Dict[str, ProvenanceManager] = field(default_factory=dict)
     channels: List[Channel] = field(default_factory=list)
     #: scheduler passes / runtime rounds executed by :meth:`Pipeline.run`.
+    #: Under the default event-driven execution this counts operator
+    #: wake-ups (intra) or instance wake-ups (inter); under ``"polling"``
+    #: execution it counts whole-graph passes / deployment rounds.
     rounds: int = 0
+    #: operator wake-ups executed (intra: equals ``rounds`` under event
+    #: execution; inter: summed over all instance schedulers).
+    wakeups: int = 0
 
     # -- convenience -------------------------------------------------------------
     @property
@@ -210,7 +216,10 @@ class Pipeline:
     :class:`Scheduler`; a :class:`Placement` deploys onto several SPE
     instances run by the :class:`DistributedRuntime`.  ``retention`` (seconds
     of provenance the MU / baseline resolver must retain) defaults to the sum
-    of the dataflow's window sizes.
+    of the dataflow's window sizes.  ``execution`` selects the execution
+    core: ``"event"`` (default) is the readiness-driven batch scheduler,
+    ``"polling"`` the legacy whole-graph polling loop kept as the
+    behavioural oracle.
     """
 
     def __init__(
@@ -221,13 +230,19 @@ class Pipeline:
         fused: bool = True,
         retention: Optional[float] = None,
         keep_unfolded_tuples: bool = False,
+        execution: str = "event",
     ) -> None:
+        if execution not in ("event", "polling"):
+            raise DataflowError(
+                f"unknown execution mode {execution!r}; expected 'event' or 'polling'"
+            )
         self.dataflow = dataflow
         self.mode = resolve_mode(provenance)
         self.placement = placement
         self.fused = fused
         self.retention = retention
         self.keep_unfolded_tuples = keep_unfolded_tuples
+        self.execution = execution
         self._result: Optional[PipelineResult] = None
 
     # -- building ----------------------------------------------------------------
@@ -288,7 +303,8 @@ class Pipeline:
         """
         result = self.build()
         if result.deployment == "intra":
-            scheduler = Scheduler(
+            scheduler_cls = Scheduler if self.execution == "event" else PollingScheduler
+            scheduler = scheduler_cls(
                 result.query,
                 max_passes=max_rounds,
                 pass_callback=round_callback,
@@ -296,8 +312,14 @@ class Pipeline:
             )
             scheduler.run()
             result.rounds = scheduler.passes
+            result.wakeups = scheduler.wakeups
         else:
-            runtime = DistributedRuntime(
+            runtime_cls = (
+                DistributedRuntime
+                if self.execution == "event"
+                else PollingDistributedRuntime
+            )
+            runtime = runtime_cls(
                 result.instances,
                 max_rounds=max_rounds,
                 round_callback=round_callback,
@@ -305,6 +327,7 @@ class Pipeline:
             )
             runtime.run()
             result.rounds = runtime.rounds
+            result.wakeups = runtime.total_wakeups()
         return result
 
 

@@ -118,7 +118,7 @@ class MUOperator(MultiInputOperator):
             self._emit_combined(derived, upstream)
 
     def _emit_combined(self, derived: StreamTuple, upstream: StreamTuple) -> None:
-        out = StreamTuple(
+        out = StreamTuple.owned(
             ts=max(derived.ts, upstream.ts),
             values=combine_derived_and_upstream(derived, upstream),
         )

@@ -77,7 +77,7 @@ class UnfoldMapOperator(SingleInputOperator):
 
     def process_tuple(self, tup: StreamTuple) -> None:
         for origin in self.provenance.unfold(tup):
-            out = StreamTuple(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
+            out = StreamTuple.owned(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
             out.wall = max(tup.wall, origin.wall)
             self.provenance.on_map_output(out, tup)
             self.emit(out)
@@ -102,7 +102,7 @@ class SUOperator(SingleInputOperator):
     def process_tuple(self, tup: StreamTuple) -> None:
         self.emit(tup, self.DATA_PORT)
         for origin in self.provenance.unfold(tup):
-            out = StreamTuple(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
+            out = StreamTuple.owned(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
             out.wall = max(tup.wall, origin.wall)
             self.provenance.on_map_output(out, tup)
             self.emit(out, self.UNFOLDED_PORT)

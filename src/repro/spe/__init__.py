@@ -15,9 +15,9 @@ its inputs in timestamp order, gated by per-input watermarks.
 from repro.spe.tuples import StreamTuple, Watermark, END_OF_STREAM
 from repro.spe.streams import Stream
 from repro.spe.query import Query
-from repro.spe.scheduler import Scheduler
+from repro.spe.scheduler import PollingScheduler, Scheduler
 from repro.spe.instance import SPEInstance
-from repro.spe.runtime import DistributedRuntime
+from repro.spe.runtime import DistributedRuntime, PollingDistributedRuntime
 from repro.spe.threaded import ThreadedRuntime, run_threaded
 from repro.spe.channels import Channel
 from repro.spe.fault_tolerance import (
@@ -34,8 +34,10 @@ __all__ = [
     "Stream",
     "Query",
     "Scheduler",
+    "PollingScheduler",
     "SPEInstance",
     "DistributedRuntime",
+    "PollingDistributedRuntime",
     "ThreadedRuntime",
     "run_threaded",
     "Channel",

@@ -5,12 +5,20 @@ two processes on distinct Odroid boards connected by a 100 Mbps switch).  It
 carries *serialised* tuples only, tracks the producer watermark, and records
 simple traffic statistics (tuples and bytes transferred) that the experiment
 harness uses to reason about network load.
+
+Like :class:`~repro.spe.streams.Stream`, a channel participates in readiness
+propagation: the Receive operator reading it registers itself as
+``consumer``, and every producer-side mutation (:meth:`send`,
+:meth:`send_many`, :meth:`advance_watermark`, :meth:`close`) signals it.
+That is what lets the :class:`~repro.spe.runtime.DistributedRuntime` wake
+exactly the instance whose channel received data instead of round-robin
+polling every instance.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Iterable, List, Optional
 
 from repro.spe.errors import ChannelError
 from repro.spe.tuples import FINAL_WATERMARK
@@ -26,6 +34,7 @@ class Channel:
         "_closed",
         "tuples_sent",
         "bytes_sent",
+        "consumer",
     )
 
     def __init__(self, name: str = "") -> None:
@@ -35,6 +44,15 @@ class Channel:
         self._closed = False
         self.tuples_sent = 0
         self.bytes_sent = 0
+        #: the Receive operator reading this channel (registered by
+        #: ``ReceiveOperator``); signalled on every producer-side mutation.
+        self.consumer = None
+
+    # -- readiness ---------------------------------------------------------
+    def _wake(self) -> None:
+        consumer = self.consumer
+        if consumer is not None:
+            consumer.signal()
 
     # -- producer side -----------------------------------------------------
     def send(self, payload: str) -> None:
@@ -44,16 +62,31 @@ class Channel:
         self._queue.append(payload)
         self.tuples_sent += 1
         self.bytes_sent += len(payload)
+        self._wake()
+
+    def send_many(self, payloads: Iterable[str]) -> None:
+        """Enqueue a batch of serialised tuples with one consumer wake-up."""
+        if self._closed:
+            raise ChannelError(f"channel {self.name!r} is closed")
+        batch = payloads if isinstance(payloads, (list, tuple)) else list(payloads)
+        if not batch:
+            return
+        self._queue.extend(batch)
+        self.tuples_sent += len(batch)
+        self.bytes_sent += sum(len(payload) for payload in batch)
+        self._wake()
 
     def advance_watermark(self, ts: float) -> None:
         """Advance the producer watermark (monotone)."""
         if ts > self._watermark:
             self._watermark = ts
+            self._wake()
 
     def close(self) -> None:
         """Signal that no further tuple will be sent."""
         self._closed = True
         self._watermark = FINAL_WATERMARK
+        self._wake()
 
     # -- consumer side -----------------------------------------------------
     def receive(self) -> Optional[str]:
@@ -63,9 +96,17 @@ class Channel:
         return self._queue.popleft()
 
     def receive_all(self) -> List[str]:
-        """Dequeue every available serialised tuple."""
-        items = list(self._queue)
-        self._queue.clear()
+        """Dequeue every available serialised tuple.
+
+        Drains with atomic ``popleft`` calls rather than snapshot+clear:
+        under the :class:`~repro.spe.threaded.ThreadedRuntime` the producer
+        appends from another thread, and a payload sent between a snapshot
+        and a clear would be lost forever.
+        """
+        queue = self._queue
+        items: List[str] = []
+        while queue:
+            items.append(queue.popleft())
         return items
 
     # -- state ----------------------------------------------------------------

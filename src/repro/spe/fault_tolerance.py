@@ -111,6 +111,12 @@ class ReliableSendOperator(SendOperator):
         super().__init__(name, channel)
         self.backup = backup
 
+    def process_batch(self, batch) -> None:
+        # Per-tuple fallback: the SendOperator batch path would flush the
+        # channel without recording payloads in the backup.
+        for tup in batch:
+            self.process_tuple(tup)
+
     def process_tuple(self, tup: StreamTuple) -> None:
         payload = serialize_tuple(tup, self.provenance.on_send(tup))
         self.channel.send(payload)

@@ -17,11 +17,13 @@ aggregate with the measurement taken right after the day ends.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
+from operator import attrgetter
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.spe.errors import QueryValidationError
 from repro.spe.operators.base import SingleInputOperator
-from repro.spe.tuples import StreamTuple
+from repro.spe.tuples import StreamTuple, owned_values
 
 KeyFunction = Callable[[StreamTuple], Hashable]
 AggregateFunction = Callable[[Sequence[StreamTuple], Hashable], Optional[Mapping[str, Any]]]
@@ -68,7 +70,9 @@ class AggregateOperator(SingleInputOperator):
     aggregate_function:
         Called as ``aggregate_function(window_tuples, key)`` for every
         non-empty flushed window; must return the output tuple's attribute
-        mapping, or ``None`` to suppress the output.
+        mapping, or ``None`` to suppress the output.  A returned plain dict
+        is taken over by the engine without copying -- build a fresh mapping
+        per call and do not mutate it afterwards.
     key_function:
         Optional group-by extractor.  ``None`` aggregates the whole stream as
         one group.
@@ -99,6 +103,9 @@ class AggregateOperator(SingleInputOperator):
         self._key_function = key_function
         self._contributors_function = contributors_function
         self._groups: Dict[Hashable, List[StreamTuple]] = {}
+        #: group keys in deterministic flush order; rebuilt lazily after the
+        #: key set changes (so steady-state flushes skip the per-window sort).
+        self._sorted_keys: Optional[List[Hashable]] = None
         self._next_window_start: Optional[float] = None
         self.windows_emitted = 0
 
@@ -106,7 +113,12 @@ class AggregateOperator(SingleInputOperator):
     def process_tuple(self, tup: StreamTuple) -> None:
         key = self._key_function(tup) if self._key_function else None
         state_was_empty = not self._groups
-        self._groups.setdefault(key, []).append(tup)
+        bucket = self._groups.get(key)
+        if bucket is None:
+            self._groups[key] = [tup]
+            self._sorted_keys = None
+        else:
+            bucket.append(tup)
         first_start = self.window.first_window_start(tup.ts)
         if self._next_window_start is None:
             self._next_window_start = first_start
@@ -128,10 +140,11 @@ class AggregateOperator(SingleInputOperator):
             return
         size = self.window.size
         advance = self.window.advance
+        flushed: List[StreamTuple] = []
         while self._next_window_start + size <= watermark:
             start = self._next_window_start
             end = start + size
-            self._flush_window(start, end)
+            self._flush_window(start, end, flushed)
             self._evict(start + advance)
             self._next_window_start = start + advance
             if not self._groups and watermark == float("inf"):
@@ -140,35 +153,83 @@ class AggregateOperator(SingleInputOperator):
                 # No buffered tuples: skip ahead so that an idle stream does
                 # not force one (empty) flush per advance step.
                 break
+        if flushed and self.outputs:
+            self.emit_many(flushed)
 
-    def _flush_window(self, start: float, end: float) -> None:
+    def _input_is_sorted(self) -> bool:
+        """True when the input stream guarantees timestamp order.
+
+        A stream created with ``sorted_stream=False`` (bounded disorder, no
+        SortOperator in front) may buffer out-of-order tuples; the
+        bisect-bounded window slices and prefix eviction are only valid on
+        sorted buffers, so such inputs fall back to the seed's linear scans.
+        """
+        return not self.inputs or self.inputs[0].enforce_order
+
+    def _flush_window(self, start: float, end: float, flushed: List[StreamTuple]) -> None:
         out_ts = start if self.window.emit_at == "start" else end
-        for key in sorted(self._groups, key=_key_sort_value):
-            window_tuples = [t for t in self._groups[key] if start <= t.ts < end]
-            if not window_tuples:
+        if self._sorted_keys is None:
+            self._sorted_keys = sorted(self._groups, key=_key_sort_value)
+        groups = self._groups
+        sorted_input = self._input_is_sorted()
+        for key in self._sorted_keys:
+            tuples = groups[key]
+            if not tuples:
                 continue
+            if sorted_input:
+                # Per-group buffers are timestamp-sorted (tuples arrive in
+                # merged timestamp order): reject non-overlapping buffers
+                # with two endpoint checks, then bisect the window slice out
+                # instead of a full-buffer scan per flush.
+                if tuples[0].ts >= end or tuples[-1].ts < start:
+                    continue
+                lo = bisect_left(tuples, start, key=_tuple_ts)
+                hi = bisect_left(tuples, end, key=_tuple_ts)
+                if lo == hi:
+                    continue
+                window_tuples = tuples[lo:hi]
+            else:
+                window_tuples = [t for t in tuples if start <= t.ts < end]
+                if not window_tuples:
+                    continue
             values = self._aggregate_function(window_tuples, key)
             if values is None:
                 continue
-            out = StreamTuple(ts=out_ts, values=values)
+            if any(values is t.values for t in window_tuples):
+                # A pass-through aggregate returned a window tuple's own
+                # payload: copy it so the output never aliases a tuple still
+                # buffered in the (overlapping) window state.
+                values = dict(values)
+            out = StreamTuple.owned(ts=out_ts, values=owned_values(values))
             out.wall = max(t.wall for t in window_tuples)
             contributors = None
             if self._contributors_function is not None:
                 contributors = list(self._contributors_function(window_tuples, key, values))
             self.provenance.on_aggregate_output(out, window_tuples, contributors=contributors)
             self.windows_emitted += 1
-            self.emit(out)
+            flushed.append(out)
 
     def _evict(self, next_start: float) -> None:
         empty_keys = []
+        sorted_input = self._input_is_sorted()
         for key, tuples in self._groups.items():
-            kept = [t for t in tuples if t.ts >= next_start]
-            if kept:
-                self._groups[key] = kept
+            if sorted_input:
+                if not tuples or tuples[0].ts >= next_start:
+                    continue
+                keep_from = bisect_left(tuples, next_start, key=_tuple_ts)
+                if keep_from >= len(tuples):
+                    empty_keys.append(key)
+                else:
+                    del tuples[:keep_from]
             else:
-                empty_keys.append(key)
+                kept = [t for t in tuples if t.ts >= next_start]
+                if kept:
+                    self._groups[key] = kept
+                else:
+                    empty_keys.append(key)
         for key in empty_keys:
             del self._groups[key]
+            self._sorted_keys = None
 
     # -- watermark accounting --------------------------------------------------
     def output_watermark_for(self, input_watermark: float) -> float:
@@ -186,3 +247,7 @@ class AggregateOperator(SingleInputOperator):
 
 def _key_sort_value(key: Hashable) -> str:
     return "" if key is None else str(key)
+
+
+#: fast timestamp accessor for the bisect-bounded window slices.
+_tuple_ts = attrgetter("ts")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.spe.errors import QueryValidationError
 from repro.spe.provenance_api import NoProvenance, ProvenanceManager
@@ -17,10 +17,17 @@ class Operator:
     """Base class for every streaming operator.
 
     An operator owns a list of input and output :class:`Stream` objects.  The
-    scheduler repeatedly calls :meth:`work`, which consumes whatever input is
-    available (respecting the deterministic merge rules), emits output tuples
-    and propagates watermarks.  ``work`` returns ``True`` when any progress
-    was made, which is what the scheduler uses to detect quiescence.
+    scheduler calls :meth:`work`, which consumes whatever input is available
+    (respecting the deterministic merge rules), emits output tuples and
+    propagates watermarks.  ``work`` returns ``True`` when any progress was
+    made.
+
+    Readiness: every input stream registers the operator as its consumer, so
+    pushes / watermark advances / closes on that stream call :meth:`signal`.
+    When an event-driven scheduler is attached (it installs itself as the
+    *waker*), a signal enqueues the operator exactly once until it next runs;
+    without a scheduler the signal is a no-op, which keeps operators usable
+    in isolation (unit tests drive ``work`` directly).
     """
 
     #: maximum number of input streams (None means unbounded).
@@ -40,6 +47,31 @@ class Operator:
         self._out_watermark = float("-inf")
         self._outputs_closed = False
         self._progress = False
+        #: callback installed by the event-driven scheduler; receives ``self``.
+        self._waker: Optional[Callable[["Operator"], None]] = None
+        #: True while the operator sits in its scheduler's ready queue.
+        self._queued = False
+
+    # -- readiness ----------------------------------------------------------
+    def signal(self) -> None:
+        """Mark the operator runnable (no-op without an attached scheduler).
+
+        The ``_queued`` flag deduplicates wake-ups: however many tuples,
+        watermarks or closes arrive before the operator next runs, it is
+        enqueued at most once.  The scheduler clears the flag immediately
+        before calling :meth:`work`, so a signal arriving *during* ``work``
+        (e.g. from another thread feeding a channel) re-enqueues the operator
+        and can never be lost.
+        """
+        if self._waker is not None and not self._queued:
+            self._queued = True
+            self._waker(self)
+
+    @property
+    def self_reschedule(self) -> bool:
+        """True when the operator wants another wake-up it cannot be signalled
+        for (Sources: their input is an iterator, not a stream)."""
+        return False
 
     # -- wiring --------------------------------------------------------------
     def add_input(self, stream: Stream) -> None:
@@ -49,6 +81,7 @@ class Operator:
                 f"operator {self.name!r} accepts at most {self.max_inputs} input(s)"
             )
         self.inputs.append(stream)
+        stream.consumer = self
 
     def add_output(self, stream: Stream) -> None:
         """Attach ``stream`` as the next output port."""
@@ -74,10 +107,28 @@ class Operator:
         """Make as much progress as possible; return True if anything happened."""
         raise NotImplementedError
 
+    def work_per_tuple(self) -> bool:
+        """The seed's one-tuple-at-a-time ``work`` loop (behavioural oracle).
+
+        Subclasses with a batch dataplane override this with the original
+        ``peek``/``pop`` loop so the :class:`PollingScheduler` can reproduce
+        the seed's execution (and cost model) exactly; operators without a
+        dedicated per-tuple variant just delegate to :meth:`work`.
+        """
+        return self.work()
+
     def emit(self, tup: StreamTuple, port: int = 0) -> None:
         """Push ``tup`` to output ``port``."""
         self.tuples_out += 1
         self.outputs[port].push(tup)
+        self._progress = True
+
+    def emit_many(self, tuples: Sequence[StreamTuple], port: int = 0) -> None:
+        """Push a batch of tuples to output ``port`` with one wake-up."""
+        if not tuples:
+            return
+        self.tuples_out += len(tuples)
+        self.outputs[port].push_many(tuples)
         self._progress = True
 
     def output_watermark_for(self, input_watermark: float) -> float:
@@ -130,7 +181,38 @@ class SingleInputOperator(Operator):
         """Process one input tuple (possibly emitting output tuples)."""
         raise NotImplementedError
 
+    def process_batch(self, batch: Sequence[StreamTuple]) -> None:
+        """Process a batch of consumable input tuples.
+
+        The default implementation is the per-tuple fallback -- it simply
+        loops :meth:`process_tuple`, which is what stateful operators keep.
+        Stateless operators may override it to amortise per-tuple overheads.
+        """
+        process = self.process_tuple
+        for tup in batch:
+            process(tup)
+
     def work(self) -> bool:
+        self._progress = False
+        if not self.inputs:
+            return False
+        stream = self.inputs[0]
+        batch = stream.pop_ready()
+        if batch:
+            self.tuples_in += len(batch)
+            self.process_batch(batch)
+            self._progress = True
+        watermark = stream.watermark
+        if watermark > self._in_watermark:
+            self._in_watermark = watermark
+            self.on_watermark(watermark)
+            self._advance_outputs(self.output_watermark_for(watermark))
+        if self._inputs_exhausted() and not self._outputs_closed:
+            self.on_close()
+            self._close_outputs()
+        return self._progress
+
+    def work_per_tuple(self) -> bool:
         self._progress = False
         if not self.inputs:
             return False
@@ -168,6 +250,12 @@ class MultiInputOperator(Operator):
         raise NotImplementedError
 
     def _next_ready_input(self) -> Optional[int]:
+        """Index of the input whose head may be consumed next, or None.
+
+        Kept for introspection and unit tests; the hot path is
+        :meth:`_drain_merged`, which computes the merge barrier once per
+        wake-up instead of re-peeking every stream for every tuple.
+        """
         best_index: Optional[int] = None
         best_ts = float("inf")
         for index, stream in enumerate(self.inputs):
@@ -199,7 +287,95 @@ class MultiInputOperator(Operator):
                     return None
         return best_index
 
+    def _drain_merged(self) -> None:
+        """Consume every currently-consumable tuple in merged order.
+
+        Only *empty* inputs can block consumption: the selected head is the
+        timestamp-minimum over all non-empty heads (ties to the lowest
+        index), so a non-empty input can never hold a strictly earlier tuple.
+        An empty input ``j`` with watermark ``w`` blocks a candidate
+        ``(ts, i)`` exactly when ``(ts, i) >= (w, j)`` lexicographically --
+        equal timestamps must go to the lower index first.  The barrier (the
+        lexicographic minimum ``(w, j)`` over empty inputs) therefore only
+        changes when an input *becomes* empty, so the whole wake-up needs one
+        pass over the inputs up front plus O(#inputs) work per consumed tuple
+        for the head minimum -- no repeated ``peek``/``frontier`` calls.
+
+        Watermarks cannot move during the drain: stream producers live in
+        the same instance and never run concurrently with this operator.
+        """
+        inputs = self.inputs
+        queues = [stream._queue for stream in inputs]
+        watermarks = [stream.watermark for stream in inputs]
+        barrier_ts = float("inf")
+        barrier_index = float("inf")
+        for index, queue in enumerate(queues):
+            if not queue:
+                watermark = watermarks[index]
+                if watermark < barrier_ts:
+                    barrier_ts = watermark
+                    barrier_index = index
+        consumed = 0
+        process = self.process_tuple
+        while True:
+            best_index = -1
+            best_ts = float("inf")
+            for index, queue in enumerate(queues):
+                if queue:
+                    head_ts = queue[0].ts
+                    if head_ts < best_ts:
+                        best_ts = head_ts
+                        best_index = index
+            if best_index < 0:
+                break
+            if best_ts > barrier_ts or (
+                best_ts == barrier_ts and best_index > barrier_index
+            ):
+                break
+            queue = queues[best_index]
+            tup = queue.popleft()
+            consumed += 1
+            process(tup, best_index)
+            if not queue:
+                watermark = watermarks[best_index]
+                if watermark < barrier_ts or (
+                    watermark == barrier_ts and best_index < barrier_index
+                ):
+                    barrier_ts = watermark
+                    barrier_index = best_index
+        if consumed:
+            self.tuples_in += consumed
+            self._progress = True
+
     def work(self) -> bool:
+        self._progress = False
+        inputs = self.inputs
+        if not inputs:
+            return False
+        if len(inputs) == 1:
+            # Degenerate merge: a single input is a plain FIFO drain.
+            batch = inputs[0].pop_ready()
+            if batch:
+                self.tuples_in += len(batch)
+                process = self.process_tuple
+                for tup in batch:
+                    process(tup, 0)
+                self._progress = True
+            watermark = inputs[0].watermark
+        else:
+            self._drain_merged()
+            watermark = min(stream.watermark for stream in inputs)
+        if watermark > self._in_watermark:
+            self._in_watermark = watermark
+            self.on_watermark(watermark)
+            self._advance_outputs(self.output_watermark_for(watermark))
+        if self._inputs_exhausted() and not self._outputs_closed:
+            self.on_close()
+            self._close_outputs()
+        return self._progress
+
+    def work_per_tuple(self) -> bool:
+        """The seed's merge loop: ``_next_ready_input`` re-evaluated per tuple."""
         self._progress = False
         if not self.inputs:
             return False

@@ -6,7 +6,7 @@ section 4.1 of the paper) no provenance instrumentation is required.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.spe.operators.base import SingleInputOperator
 from repro.spe.tuples import StreamTuple
@@ -30,3 +30,10 @@ class FilterOperator(SingleInputOperator):
             self.emit(tup)
         else:
             self.dropped += 1
+
+    def process_batch(self, batch: Sequence[StreamTuple]) -> None:
+        """Stateless batch path: one predicate sweep, one bulk forward."""
+        predicate = self._predicate
+        kept = [tup for tup in batch if predicate(tup)]
+        self.dropped += len(batch) - len(kept)
+        self.emit_many(kept)

@@ -18,7 +18,7 @@ from typing import Any, Callable, Deque, Dict, Mapping, Optional
 
 from repro.spe.errors import QueryValidationError
 from repro.spe.operators.base import MultiInputOperator
-from repro.spe.tuples import StreamTuple
+from repro.spe.tuples import StreamTuple, owned_values
 
 JoinPredicate = Callable[[StreamTuple, StreamTuple], bool]
 JoinCombiner = Callable[[StreamTuple, StreamTuple], Optional[Mapping[str, Any]]]
@@ -40,7 +40,9 @@ class JoinOperator(MultiInputOperator):
         ``predicate(left, right)`` decides whether the pair joins.
     combiner:
         ``combiner(left, right)`` builds the output attribute mapping
-        (returning ``None`` suppresses the pair).
+        (returning ``None`` suppresses the pair).  A returned plain dict is
+        taken over by the engine without copying -- the combiner must build a
+        fresh mapping per call and not mutate it afterwards.
     """
 
     max_inputs = 2
@@ -90,7 +92,12 @@ class JoinOperator(MultiInputOperator):
         values = self._combiner(left, right)
         if values is None:
             return
-        out = StreamTuple(ts=max(left.ts, right.ts), values=values)
+        if values is left.values or values is right.values:
+            # A pass-through combiner returned an input tuple's own payload:
+            # copy it so the output never aliases (and can never corrupt) a
+            # tuple that still sits in the join window or provenance graph.
+            values = dict(values)
+        out = StreamTuple.owned(ts=max(left.ts, right.ts), values=owned_values(values))
         out.wall = max(left.wall, right.wall)
         self.provenance.on_join_output(out, newer, older)
         self.pairs_emitted += 1

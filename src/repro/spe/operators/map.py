@@ -10,7 +10,7 @@ sink tuple into one tuple per originating source tuple.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.spe.operators.base import SingleInputOperator
 from repro.spe.tuples import StreamTuple
@@ -42,6 +42,22 @@ class MapOperator(SingleInputOperator):
         out.wall = max(out.wall, tup.wall)
         self.provenance.on_map_output(out, tup)
         self.emit(out)
+
+    def process_batch(self, batch: Sequence[StreamTuple]) -> None:
+        """Stateless batch path: map the batch, then bulk-forward the outputs."""
+        function = self._function
+        on_map_output = None if self.provenance.is_noop else self.provenance.on_map_output
+        outputs = []
+        for tup in batch:
+            out = function(tup)
+            if out is None:
+                continue
+            if tup.wall > out.wall:
+                out.wall = tup.wall
+            if on_map_output is not None:
+                on_map_output(out, tup)
+            outputs.append(out)
+        self.emit_many(outputs)
 
 
 class FlatMapOperator(SingleInputOperator):

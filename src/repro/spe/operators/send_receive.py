@@ -10,6 +10,8 @@ on Receive it re-attaches metadata to the freshly created tuple.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.spe.channels import Channel
 from repro.spe.operators.base import Operator, SingleInputOperator
 from repro.spe.serialization import deserialize_tuple, serialize_tuple
@@ -31,6 +33,14 @@ class SendOperator(SingleInputOperator):
         self.channel.send(serialize_tuple(tup, payload))
         self._progress = True
 
+    def process_batch(self, batch: Sequence[StreamTuple]) -> None:
+        """Serialise the whole batch and flush it to the channel in one call."""
+        on_send = self.provenance.on_send
+        self.channel.send_many(
+            [serialize_tuple(tup, on_send(tup)) for tup in batch]
+        )
+        self._progress = True
+
     def on_watermark(self, watermark: float) -> None:
         self.channel.advance_watermark(watermark)
 
@@ -47,8 +57,35 @@ class ReceiveOperator(Operator):
     def __init__(self, name: str, channel: Channel) -> None:
         super().__init__(name)
         self.channel = channel
+        # Channel activity (send / watermark / close) must mark this operator
+        # runnable: it has no input stream to signal it.
+        channel.consumer = self
 
     def work(self) -> bool:
+        self._progress = False
+        if not self.outputs:
+            return False
+        payloads = self.channel.receive_all()
+        if payloads:
+            on_receive = None if self.provenance.is_noop else self.provenance.on_receive
+            batch = []
+            for payload in payloads:
+                tup, provenance_payload = deserialize_tuple(payload)
+                if on_receive is not None:
+                    on_receive(tup, provenance_payload)
+                batch.append(tup)
+            self.tuples_in += len(batch)
+            self.emit_many(batch)
+        watermark = self.channel.watermark
+        if watermark > self._in_watermark:
+            self._in_watermark = watermark
+            self._advance_outputs(watermark)
+        if self.channel.closed and len(self.channel) == 0 and not self._outputs_closed:
+            self._close_outputs()
+        return self._progress
+
+    def work_per_tuple(self) -> bool:
+        """The seed's receive loop: one channel dequeue + emit per tuple."""
         self._progress = False
         if not self.outputs:
             return False

@@ -57,6 +57,32 @@ class SortOperator(Operator):
         # The input stream cannot enforce ordering (that is the whole point),
         # so it must be created with enforce_order=False; Query.connect with
         # ``sorted_stream=False`` takes care of that.
+        batch = stream.pop_ready()
+        if batch:
+            self.tuples_in += len(batch)
+            ingest = self._ingest
+            for tup in batch:
+                ingest(tup)
+            self._progress = True
+        watermark = stream.watermark
+        if watermark > self._in_watermark:
+            self._in_watermark = watermark
+        bound = self._release_bound()
+        if bound < float("inf"):
+            self._release(bound)
+            if bound > float("-inf"):
+                self._advance_outputs(bound)
+        if self._inputs_exhausted() and not self._outputs_closed:
+            self._release(float("inf"))
+            self._close_outputs()
+        return self._progress
+
+    def work_per_tuple(self) -> bool:
+        """The seed's sort loop: one ``peek``/``pop`` pair per ingested tuple."""
+        self._progress = False
+        if not self.inputs:
+            return False
+        stream = self.inputs[0]
         while stream.peek() is not None:
             tup = stream.pop()
             self.tuples_in += 1
@@ -102,10 +128,16 @@ class SortOperator(Operator):
         return bound
 
     def _release(self, bound: float) -> None:
-        while self._heap and self._heap[0][0] <= bound:
-            ts, _, tup = heapq.heappop(self._heap)
-            self._released_ts = max(self._released_ts, ts)
-            self.emit(tup)
+        heap = self._heap
+        if not heap or heap[0][0] > bound:
+            return
+        released = []
+        while heap and heap[0][0] <= bound:
+            ts, _, tup = heapq.heappop(heap)
+            if ts > self._released_ts:
+                self._released_ts = ts
+            released.append(tup)
+        self.emit_many(released)
 
     def buffered_tuples(self) -> int:
         """Number of tuples currently waiting for their release bound."""

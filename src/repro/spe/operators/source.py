@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from itertools import islice
 from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.spe.errors import StreamOrderError
@@ -32,7 +33,7 @@ class SourceOperator(Operator):
         self,
         name: str,
         supplier: TupleSupplier,
-        batch_size: int = 64,
+        batch_size: int = 256,
         wall_clock: Callable[[], float] = time.perf_counter,
         enforce_order: bool = True,
     ) -> None:
@@ -59,6 +60,46 @@ class SourceOperator(Operator):
         if self._exhausted or not self.outputs:
             return False
         iterator = self._ensure_iterator()
+        batch = list(islice(iterator, self.batch_size))
+        if len(batch) < self.batch_size:
+            self._exhausted = True
+        if batch:
+            wall_clock = self._wall_clock
+            last_ts = self._last_ts
+            if self.enforce_order:
+                for tup in batch:
+                    if tup.ts < last_ts:
+                        raise StreamOrderError(
+                            f"source {self.name!r} produced out-of-order tuple "
+                            f"(ts={tup.ts} after ts={last_ts})"
+                        )
+                    last_ts = tup.ts
+                    tup.wall = wall_clock()
+            else:
+                for tup in batch:
+                    if tup.ts > last_ts:
+                        last_ts = tup.ts
+                    tup.wall = wall_clock()
+            self._last_ts = last_ts
+            if not self.provenance.is_noop:
+                on_source_output = self.provenance.on_source_output
+                for tup in batch:
+                    on_source_output(tup)
+            self.emit_many(batch)
+            if self.enforce_order:
+                # An out-of-order source cannot promise anything about future
+                # timestamps, so it only advances the watermark when it closes.
+                self._advance_outputs(self._last_ts)
+        if self._exhausted:
+            self._close_outputs()
+        return self._progress
+
+    def work_per_tuple(self) -> bool:
+        """The seed's source loop: per-tuple emits, one batch per pass."""
+        self._progress = False
+        if self._exhausted or not self.outputs:
+            return False
+        iterator = self._ensure_iterator()
         emitted = 0
         while emitted < self.batch_size:
             try:
@@ -77,12 +118,16 @@ class SourceOperator(Operator):
             self.emit(tup)
             emitted += 1
         if emitted and self.enforce_order:
-            # An out-of-order source cannot promise anything about future
-            # timestamps, so it only advances the watermark when it closes.
             self._advance_outputs(self._last_ts)
         if self._exhausted:
             self._close_outputs()
         return self._progress
+
+    @property
+    def self_reschedule(self) -> bool:
+        """The supplier is an iterator, not a stream: nothing will signal the
+        source, so it re-enqueues itself until the supplier is exhausted."""
+        return not self._exhausted
 
     @property
     def finished(self) -> bool:

@@ -27,6 +27,11 @@ class ProvenanceManager:
     #: short identifier used in experiment reports ("NP", "GL", "BL").
     name = "NP"
 
+    #: True when every creation hook is a no-op (the NP configuration).
+    #: Hot operator loops consult this once per batch to skip the per-tuple
+    #: hook calls entirely; instrumenting managers must leave it False.
+    is_noop = False
+
     # -- tuple creation hooks (section 4.1 of the paper) -------------------
     def on_source_output(self, tup: StreamTuple) -> None:
         """A Source created ``tup``."""
@@ -98,3 +103,4 @@ class NoProvenance(ProvenanceManager):
     """Explicit alias for the no-op manager (the NP configuration)."""
 
     name = "NP"
+    is_noop = True

@@ -60,7 +60,7 @@ class Query:
 
     # -- convenience constructors ------------------------------------------------
     def add_source(
-        self, name: str, supplier, batch_size: int = 64, enforce_order: bool = True
+        self, name: str, supplier, batch_size: int = 256, enforce_order: bool = True
     ) -> SourceOperator:
         """Add a Source fed by ``supplier`` (iterable or callable).
 
@@ -195,6 +195,7 @@ class Query:
                 op.inputs.remove(stream)
         if producer is None or consumer is None:
             raise QueryValidationError("stream is not part of this query")
+        stream.consumer = None  # stop waking the detached operator
         self.streams.remove(stream)
         self._edges.remove((producer, consumer))
         return producer, consumer

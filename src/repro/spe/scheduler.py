@@ -1,17 +1,28 @@
-"""Deterministic single-process scheduler.
+"""Deterministic single-process schedulers.
 
 One SPE instance is a single process whose threads share memory (section 2).
-For reproducibility this scheduler runs every operator of a query
-cooperatively in topological order, repeatedly, until the query is quiescent
-(all sources exhausted, all streams drained, all windows flushed).  Because
-every operator consumes its inputs in deterministic timestamp-merged order,
-the result of a run is a pure function of the source data regardless of how
-``work`` calls interleave -- the determinism property GeneaLog requires.
+Because every operator consumes its inputs in deterministic timestamp-merged
+order, the result of a run is a pure function of the source data regardless
+of how ``work`` calls interleave -- the determinism property GeneaLog
+requires.  Two schedulers exploit that freedom differently:
+
+* :class:`Scheduler` (the default) is **event-driven**: streams and channels
+  signal their consumer operator on every push / watermark advance / close,
+  and the scheduler drains a FIFO ready-queue of runnable operators.  Idle
+  operators cost nothing, quiescence is detected incrementally (an operator
+  leaves the *unfinished* set the moment its ``work`` call finishes it), and
+  each wake-up hands the operator a whole batch of consumable input.
+* :class:`PollingScheduler` is the original whole-graph polling loop: every
+  pass runs every operator in topological order until no operator makes
+  progress.  It is kept as the behavioural oracle -- the scheduler
+  equivalence test suite asserts both produce byte-identical sink outputs
+  and provenance records.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Set
 
 from repro.spe.errors import SchedulingError
 from repro.spe.operators.base import Operator
@@ -19,7 +30,153 @@ from repro.spe.query import Query
 
 
 class Scheduler:
-    """Runs a :class:`~repro.spe.query.Query` to completion in one process."""
+    """Event-driven execution of a :class:`~repro.spe.query.Query`.
+
+    The ready queue is seeded with every operator (in topological order) so
+    pre-filled inputs and sources run at least once; afterwards operators
+    are only enqueued when one of their input streams or channels signals
+    them, or when they ask to be rescheduled (Sources that still have
+    supplier data).  ``max_passes`` bounds the number of operator wake-ups;
+    ``pass_callback`` is invoked every ``callback_every`` wake-ups (the
+    experiment harness uses it for memory sampling).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        max_passes: int = 10_000_000,
+        pass_callback: Optional[Callable[[int], None]] = None,
+        callback_every: int = 16,
+    ) -> None:
+        self.query = query
+        self.max_passes = max_passes
+        self.pass_callback = pass_callback
+        self.callback_every = max(1, callback_every)
+        #: number of operator wake-ups executed so far.
+        self.wakeups = 0
+        self._ready: Deque[Operator] = deque()
+        self._unfinished: Set[Operator] = set()
+        self._started = False
+        self._draining = False
+        #: hook invoked with ``self`` when the ready queue becomes non-empty
+        #: (installed by the DistributedRuntime to wake this instance).
+        self.on_wake: Optional[Callable[["Scheduler"], None]] = None
+
+    # -- wiring -----------------------------------------------------------------
+    def _enqueue(self, operator: Operator) -> None:
+        was_idle = not self._ready
+        self._ready.append(operator)
+        # While step() drains the queue, the newly enqueued operator will be
+        # processed by the ongoing drain -- no need to wake the runtime.
+        if was_idle and not self._draining and self.on_wake is not None:
+            self.on_wake(self)
+
+    def _start(self) -> None:
+        if self._started:
+            return
+        self.query.validate()
+        order = self.query.topological_order()
+        self._unfinished = {op for op in order if not op.finished}
+        for operator in order:
+            operator._waker = self._enqueue
+            operator._queued = False
+        self._started = True
+        # Seed every operator once, in topological order: sources produce
+        # their first batch, and operators over pre-filled streams/channels
+        # drain them even though no push will ever signal them.
+        for operator in order:
+            operator.signal()
+
+    # -- execution --------------------------------------------------------------
+    def step(self) -> bool:
+        """Drain the ready queue once; return True if any operator progressed.
+
+        One ``step`` processes every signal-driven wake-up transitively (a
+        push cascades through the whole downstream chain), but an operator
+        that *reschedules itself* (a Source with supplier data left) is
+        deferred to the next ``step``.  That bounds the work -- and, for a
+        distributed deployment, the channel buffering -- of one step to one
+        source batch plus its full propagation, instead of running sources to
+        exhaustion while downstream instances wait.
+        """
+        self._start()
+        progress = False
+        ready = self._ready
+        rescheduled = []
+        self._draining = True
+        try:
+            while ready:
+                if self.wakeups >= self.max_passes:
+                    raise SchedulingError(
+                        f"query {self.query.name!r} did not finish within "
+                        f"{self.max_passes} wake-ups"
+                    )
+                operator = ready.popleft()
+                operator._queued = False
+                if operator.work():
+                    progress = True
+                self.wakeups += 1
+                if (
+                    self.pass_callback is not None
+                    and self.wakeups % self.callback_every == 0
+                ):
+                    self.pass_callback(self.wakeups)
+                if operator.finished:
+                    self._unfinished.discard(operator)
+                elif operator.self_reschedule:
+                    rescheduled.append(operator)
+        finally:
+            self._draining = False
+        for operator in rescheduled:
+            operator.signal()
+        return progress
+
+    def run(self) -> int:
+        """Run until quiescence; return the number of operator wake-ups."""
+        self._start()
+        while self._ready:
+            self.step()
+        if self._unfinished:
+            # The ready queue is empty but the query is not finished: the
+            # graph is stuck (e.g. a Receive waiting on a channel that is
+            # fed by another instance).  The caller (DistributedRuntime)
+            # handles that case; in a standalone run it is an error.
+            raise SchedulingError(
+                f"query {self.query.name!r} made no progress before completion"
+            )
+        return self.wakeups
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def passes(self) -> int:
+        """Alias for :attr:`wakeups` (the polling scheduler's pass count)."""
+        return self.wakeups
+
+    @property
+    def has_ready_work(self) -> bool:
+        """True when at least one operator is queued to run."""
+        return bool(self._ready)
+
+    @property
+    def finished(self) -> bool:
+        """True once every operator of the query has finished."""
+        if self._started:
+            return not self._unfinished
+        return all(op.finished for op in self.query.operators)
+
+
+class PollingScheduler:
+    """The original whole-graph polling scheduler (behavioural oracle).
+
+    Runs every operator of the query cooperatively in topological order,
+    repeatedly, until the query is quiescent (all sources exhausted, all
+    streams drained, all windows flushed).  Each ``work_per_tuple`` call is
+    the seed's one-``peek``/``pop``-per-tuple loop, so this scheduler
+    reproduces both the seed's *behaviour* and its *cost model* (whole-graph
+    passes, per-tuple dataplane, full quiescence scan per no-progress check).
+    Kept so the equivalence tests and the performance report can compare the
+    event-driven :class:`Scheduler` against the seed.
+    """
 
     def __init__(
         self,
@@ -45,7 +202,7 @@ class Scheduler:
         """Run one pass over every operator; return True if anything progressed."""
         progress = False
         for operator in self._operators():
-            if operator.work():
+            if operator.work_per_tuple():
                 progress = True
         self.passes += 1
         if self.pass_callback is not None and self.passes % self.callback_every == 0:
@@ -59,10 +216,6 @@ class Scheduler:
             if not progress and self._quiescent():
                 return self.passes
             if not progress:
-                # No operator progressed but the query is not finished: the
-                # graph is stuck (e.g. a Receive waiting on a channel that is
-                # fed by another instance).  The caller (DistributedRuntime)
-                # handles that case; a standalone run it is an error.
                 raise SchedulingError(
                     f"query {self.query.name!r} made no progress before completion"
                 )
@@ -72,6 +225,11 @@ class Scheduler:
 
     def _quiescent(self) -> bool:
         return all(op.finished for op in self._operators())
+
+    @property
+    def wakeups(self) -> int:
+        """Operator ``work`` calls executed (passes x operator count)."""
+        return self.passes * len(self._operators())
 
     @property
     def finished(self) -> bool:

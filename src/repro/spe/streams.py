@@ -6,12 +6,18 @@ timestamp order and tracks a *watermark*: the largest timestamp ``w`` such
 that the producer guarantees no future tuple will have ``ts < w``.  Watermarks
 are what allows multi-input operators (Union, Join, the MU unfolder) to merge
 their inputs deterministically and stateful operators to close windows.
+
+Streams are also the *readiness fabric* of the event-driven scheduler: each
+stream knows its consumer operator, and every producer-side mutation
+(:meth:`push`, :meth:`push_many`, :meth:`advance_watermark`, :meth:`close`)
+signals that consumer so the scheduler can enqueue it instead of rescanning
+the whole operator graph.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterable, Iterator, List, Optional
 
 from repro.spe.errors import StreamOrderError
 from repro.spe.tuples import FINAL_WATERMARK, StreamTuple
@@ -20,13 +26,21 @@ from repro.spe.tuples import FINAL_WATERMARK, StreamTuple
 class Stream:
     """A timestamp-ordered FIFO between two operator ports.
 
-    The producer pushes tuples with :meth:`push` and advances the watermark
-    with :meth:`advance_watermark` (or :meth:`close` once it is done).  The
-    consumer inspects the head with :meth:`peek` and removes it with
-    :meth:`pop`.
+    The producer pushes tuples with :meth:`push` (or :meth:`push_many`) and
+    advances the watermark with :meth:`advance_watermark` (or :meth:`close`
+    once it is done).  The consumer inspects the head with :meth:`peek` and
+    removes tuples with :meth:`pop` or, in batch, with :meth:`pop_ready`.
     """
 
-    __slots__ = ("name", "_queue", "_watermark", "_closed", "_last_ts", "enforce_order")
+    __slots__ = (
+        "name",
+        "_queue",
+        "_watermark",
+        "_closed",
+        "_last_ts",
+        "enforce_order",
+        "consumer",
+    )
 
     def __init__(self, name: str = "", enforce_order: bool = True) -> None:
         self.name = name
@@ -35,6 +49,16 @@ class Stream:
         self._closed = False
         self._last_ts: float = float("-inf")
         self.enforce_order = enforce_order
+        #: the operator reading this stream (set by ``Operator.add_input``);
+        #: signalled on every producer-side mutation so the event-driven
+        #: scheduler can mark it runnable.
+        self.consumer = None
+
+    # -- readiness ---------------------------------------------------------
+    def _wake(self) -> None:
+        consumer = self.consumer
+        if consumer is not None:
+            consumer.signal()
 
     # -- producer side -----------------------------------------------------
     def push(self, element: StreamTuple) -> None:
@@ -55,16 +79,43 @@ class Stream:
             )
         self._last_ts = max(self._last_ts, element.ts)
         self._queue.append(element)
+        self._wake()
+
+    def push_many(self, elements: Iterable[StreamTuple]) -> None:
+        """Append a batch of tuples, amortising checks and the consumer wake."""
+        if self._closed:
+            raise StreamOrderError(f"stream {self.name!r} is closed")
+        batch = elements if isinstance(elements, (list, tuple)) else list(elements)
+        if not batch:
+            return
+        last = self._last_ts
+        if self.enforce_order:
+            for element in batch:
+                if element.ts < last:
+                    raise StreamOrderError(
+                        f"stream {self.name!r} received out-of-order tuple "
+                        f"(ts={element.ts} after ts={last})"
+                    )
+                last = element.ts
+        else:
+            for element in batch:
+                if element.ts > last:
+                    last = element.ts
+        self._last_ts = last
+        self._queue.extend(batch)
+        self._wake()
 
     def advance_watermark(self, ts: float) -> None:
         """Advance the stream watermark (monotone; smaller values ignored)."""
         if ts > self._watermark:
             self._watermark = ts
+            self._wake()
 
     def close(self) -> None:
         """Mark the stream as finished; the watermark becomes +infinity."""
         self._closed = True
         self._watermark = FINAL_WATERMARK
+        self._wake()
 
     # -- consumer side -----------------------------------------------------
     def peek(self) -> Optional[StreamTuple]:
@@ -74,6 +125,23 @@ class Stream:
     def pop(self) -> StreamTuple:
         """Remove and return the head tuple."""
         return self._queue.popleft()
+
+    def pop_ready(self, limit: Optional[int] = None) -> List[StreamTuple]:
+        """Remove and return up to ``limit`` queued tuples (all by default).
+
+        This is the batch dataplane entry point: one call hands the consumer
+        every tuple it may process in this wake-up, instead of a
+        ``peek``/``pop`` pair per tuple.
+        """
+        queue = self._queue
+        if not queue:
+            return []
+        if limit is None or len(queue) <= limit:
+            items = list(queue)
+            queue.clear()
+            return items
+        popleft = queue.popleft
+        return [popleft() for _ in range(limit)]
 
     def drain(self) -> List[StreamTuple]:
         """Remove and return every queued tuple."""

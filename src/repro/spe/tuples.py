@@ -74,18 +74,52 @@ class StreamTuple:
         """Return the attribute names of the tuple."""
         return self.values.keys()
 
+    # -- fast construction --------------------------------------------------
+    @classmethod
+    def owned(
+        cls,
+        ts: float,
+        values: Optional[Dict[str, Any]] = None,
+        meta: Any = None,
+        wall: float = 0.0,
+    ) -> "StreamTuple":
+        """Build a tuple that takes ownership of ``values`` without copying.
+
+        The constructor defensively copies the ``values`` mapping so callers
+        may reuse their dictionary; hot operators that build a *fresh* dict
+        for every output tuple (Aggregate, Join, the SU/MU unfolders) pay for
+        that copy without needing it.  ``owned`` skips the copy: the caller
+        must hand over a plain ``dict`` it will not mutate afterwards.
+        """
+        self = cls.__new__(cls)
+        self.ts = ts
+        self.values = values if values is not None else {}
+        self.meta = meta
+        self.wall = wall
+        return self
+
     # -- derivation helpers ------------------------------------------------
     def derive(
         self,
         ts: Optional[float] = None,
         values: Optional[Mapping[str, Any]] = None,
+        copy: bool = True,
     ) -> "StreamTuple":
         """Create a new tuple based on this one.
 
         The new tuple never shares the ``meta`` object (instrumented
         operators are responsible for setting it) but inherits the
-        wall-clock arrival of this tuple.
+        wall-clock arrival of this tuple.  With ``copy=False`` and an
+        explicit ``values`` dict, the new tuple takes ownership of that dict
+        instead of copying it (see :meth:`owned`).
         """
+        if not copy and values is not None and type(values) is dict:
+            return StreamTuple.owned(
+                ts=self.ts if ts is None else ts,
+                values=values,
+                meta=None,
+                wall=self.wall,
+            )
         return StreamTuple(
             ts=self.ts if ts is None else ts,
             values=self.values if values is None else values,
@@ -138,6 +172,16 @@ END_OF_STREAM = _EndOfStream()
 
 #: Watermark value used once a stream has ended.
 FINAL_WATERMARK = math.inf
+
+
+def owned_values(values: Mapping[str, Any]) -> Dict[str, Any]:
+    """Turn a user-returned attribute mapping into an engine-owned dict.
+
+    Plain dicts are taken over as-is (user functions hand the mapping to the
+    engine and must not mutate it afterwards); any other mapping type is
+    copied into a fresh dict.
+    """
+    return values if type(values) is dict else dict(values)
 
 
 def is_tuple(element: Any) -> bool:

@@ -303,16 +303,25 @@ def query_pipeline(
     mode: ProvenanceMode = ProvenanceMode.NONE,
     deployment: str = "intra",
     fused: bool = True,
+    execution: str = "event",
 ) -> Pipeline:
     """A ready-to-run :class:`Pipeline` for query ``name``.
 
     ``deployment`` is ``"intra"`` (single process, deterministic Scheduler)
     or ``"inter"`` (the paper's three-instance DistributedRuntime deployment).
+    ``execution`` is ``"event"`` (readiness-driven batch scheduler, default)
+    or ``"polling"`` (the legacy whole-graph polling oracle).
     """
     if deployment not in ("intra", "inter"):
         raise ValueError(f"unknown deployment {deployment!r}; expected 'intra' or 'inter'")
     placement = query_placement(name) if deployment == "inter" else None
-    return Pipeline(query_dataflow(name, supplier), provenance=mode, placement=placement, fused=fused)
+    return Pipeline(
+        query_dataflow(name, supplier),
+        provenance=mode,
+        placement=placement,
+        fused=fused,
+        execution=execution,
+    )
 
 
 # ---------------------------------------------------------------------------
