@@ -13,7 +13,7 @@ It lowers onto the imperative :class:`~repro.spe.query.Query`/``Operator``
 layer, which remains fully supported for custom operators and tests.
 """
 
-from repro.api.dataflow import Dataflow, DataflowError, StreamBuilder
+from repro.api.dataflow import Dataflow, DataflowError, ParallelStage, StreamBuilder
 from repro.api.pipeline import (
     PROVENANCE_INSTANCE,
     Pipeline,
@@ -25,6 +25,7 @@ from repro.api.pipeline import (
 __all__ = [
     "Dataflow",
     "DataflowError",
+    "ParallelStage",
     "StreamBuilder",
     "Pipeline",
     "PipelineResult",

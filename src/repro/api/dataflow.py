@@ -23,6 +23,20 @@ Non-linear DAGs use :meth:`StreamBuilder.split` (Multiplex),
 graph is deferred, the same :class:`Dataflow` can be lowered many times --
 once per provenance technique, or split across several SPE instances by a
 :class:`~repro.api.pipeline.Placement`.
+
+Keyed data-parallelism: :meth:`StreamBuilder.key_by` declares the key of the
+next stateful stage, and ``parallelism=N`` on :meth:`StreamBuilder.aggregate`
+/ :meth:`StreamBuilder.join` expands that stage into a hash
+:class:`~repro.spe.operators.partition.PartitionOperator`, ``N`` key-disjoint
+replica shards and an order-restoring
+:class:`~repro.spe.operators.merge.MergeOperator`, whose output stream is
+byte-identical to the sequential stage's (see :class:`ParallelStage`)::
+
+    (df.source("reports", supplier)
+       .key_by(lambda t: t["car_id"])
+       .aggregate(WindowSpec(size=120, advance=30), count_stops,
+                  key_function=lambda t: t["car_id"], parallelism=4)
+       .sink("alerts"))
 """
 
 from __future__ import annotations
@@ -37,7 +51,9 @@ from repro.spe.operators.base import Operator
 from repro.spe.operators.filter import FilterOperator
 from repro.spe.operators.join import JoinOperator
 from repro.spe.operators.map import FlatMapOperator, MapOperator
+from repro.spe.operators.merge import MergeOperator
 from repro.spe.operators.multiplex import MultiplexOperator
+from repro.spe.operators.partition import PartitionOperator
 from repro.spe.operators.router import RouterOperator
 from repro.spe.operators.send_receive import ReceiveOperator, SendOperator
 from repro.spe.operators.sink import SinkOperator
@@ -96,6 +112,34 @@ class _Edge:
     out_port: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class ParallelStage:
+    """The expansion of one logical key-parallel stage.
+
+    ``parallelism=N`` on an aggregate or join does not create a node named
+    after the stage; it creates ``N + 2`` (aggregates) or ``N + 3`` (joins)
+    member nodes -- partition(s), replica shards, merge -- recorded here so
+    deployment code can address the logical stage as a whole (a
+    :class:`~repro.api.pipeline.Placement` assignment naming the logical
+    stage expands to every member) or spread the replicas across SPE
+    instances individually.
+    """
+
+    #: the logical stage name the user declared.
+    name: str
+    #: the hash-partition node(s): one for aggregates, (left, right) for joins.
+    partitions: Tuple[str, ...]
+    #: the key-disjoint replica shard nodes, in shard order.
+    replicas: Tuple[str, ...]
+    #: the order-restoring merge node.
+    merge: str
+
+    @property
+    def members(self) -> Tuple[str, ...]:
+        """Every member node of the stage, partition(s) first, merge last."""
+        return self.partitions + self.replicas + (self.merge,)
+
+
 class Dataflow:
     """A deferred DAG of streaming operators, authored fluently."""
 
@@ -104,6 +148,7 @@ class Dataflow:
         self._nodes: Dict[str, _Node] = {}
         self._edges: List[_Edge] = []
         self._counters: Dict[str, int] = {}
+        self._parallel: Dict[str, ParallelStage] = {}
 
     # -- node bookkeeping -----------------------------------------------------
     def _fresh_name(self, kind: str) -> str:
@@ -127,6 +172,11 @@ class Dataflow:
         if node_name in self._nodes:
             raise DataflowError(
                 f"dataflow {self.name!r} already has a stage named {node_name!r}"
+            )
+        if node_name in self._parallel:
+            raise DataflowError(
+                f"dataflow {self.name!r} already uses {node_name!r} as the "
+                "logical name of a parallel stage"
             )
         if instance is not None and not single_use_reason:
             single_use_reason = (
@@ -213,11 +263,50 @@ class Dataflow:
             )
         return self._add_node("custom", name, operator)
 
+    def _register_parallel(self, stage: ParallelStage) -> None:
+        if stage.name in self._nodes:
+            raise DataflowError(
+                f"dataflow {self.name!r} already has a stage named {stage.name!r}"
+            )
+        if stage.name in self._parallel:
+            raise DataflowError(
+                f"dataflow {self.name!r} already has a parallel stage named "
+                f"{stage.name!r}"
+            )
+        self._parallel[stage.name] = stage
+
     # -- introspection ----------------------------------------------------------
     @property
     def node_names(self) -> List[str]:
         """Names of every stage, in declaration order."""
         return list(self._nodes)
+
+    @property
+    def parallel_stage_names(self) -> List[str]:
+        """Logical names of the key-parallel stages, in declaration order."""
+        return list(self._parallel)
+
+    def parallel_stage(self, name: str) -> ParallelStage:
+        """The :class:`ParallelStage` expansion of logical stage ``name``."""
+        try:
+            return self._parallel[name]
+        except KeyError:
+            raise DataflowError(
+                f"dataflow {self.name!r} has no parallel stage named {name!r}"
+            ) from None
+
+    def members_of(self, stage: str) -> Optional[Tuple[str, ...]]:
+        """The concrete node names ``stage`` refers to.
+
+        A plain stage maps to itself, a logical parallel stage to its
+        partition / replica / merge members; unknown names map to ``None``.
+        """
+        if stage in self._nodes:
+            return (stage,)
+        parallel = self._parallel.get(stage)
+        if parallel is not None:
+            return parallel.members
+        return None
 
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
@@ -332,6 +421,8 @@ class StreamBuilder:
     node: str
     #: output-port rank used when the stage routes by port (see :meth:`router`).
     out_port: Optional[int] = None
+    #: key declared by :meth:`key_by` for the next stateful stage.
+    key: Optional[Callable[[StreamTuple], object]] = None
 
     # -- plumbing ---------------------------------------------------------------
     def _then(
@@ -347,6 +438,24 @@ class StreamBuilder:
             self.node, builder.node, stream_name=stream_name, out_port=self.out_port
         )
         return builder
+
+    def key_by(self, key_function) -> "StreamBuilder":
+        """Declare the key of the stream for the next stateful stage.
+
+        Returns a builder at the same position carrying ``key_function``.
+        The key serves two purposes on the stage that consumes it:
+
+        * it is the default ``key_function`` of an :meth:`aggregate` that
+          does not pass one explicitly, and
+        * it is the **partition key** when the stage runs with
+          ``parallelism > 1`` -- tuples are hash-routed so every key's
+          tuples land on one replica shard.  When a finer group-by
+          ``key_function`` is also given, the ``key_by`` key must be a
+          function of it (each group must live entirely on one shard).
+        """
+        return StreamBuilder(
+            self.dataflow, self.node, out_port=self.out_port, key=key_function
+        )
 
     def to(self, other: "StreamBuilder", stream_name: str = "") -> "StreamBuilder":
         """Wire this stream into an already-declared stage (e.g. a union)."""
@@ -390,19 +499,55 @@ class StreamBuilder:
         key_function=None,
         contributors_function=None,
         name: Optional[str] = None,
+        parallelism: int = 1,
     ) -> "StreamBuilder":
-        """Aggregate over a sliding window, optionally grouped by key."""
+        """Aggregate over a sliding window, optionally grouped by key.
+
+        ``key_function`` defaults to the :meth:`key_by` key of this builder.
+        With ``parallelism > 1`` the stage is expanded into a hash Partition,
+        ``parallelism`` key-disjoint replica aggregates and an
+        order-restoring Merge; the merged output stream (tuples, order,
+        provenance) is identical to the sequential stage's.
+        """
+        key_function = key_function if key_function is not None else self.key
         stage = name or self.dataflow._fresh_name("aggregate")
-        return self._then(
-            "aggregate",
-            stage,
-            lambda: AggregateOperator(
+        if parallelism <= 1:
+            return self._then(
+                "aggregate",
                 stage,
+                lambda: AggregateOperator(
+                    stage,
+                    window,
+                    aggregate_function,
+                    key_function,
+                    contributors_function=contributors_function,
+                ),
+                retention_s=window.size,
+            )
+        if key_function is None:
+            raise DataflowError(
+                f"stage {stage!r}: a parallel aggregate needs a group-by key "
+                "(pass key_function= or declare it with .key_by(...)); an "
+                "unkeyed aggregate sees the whole stream and cannot be sharded"
+            )
+        partition_key = self.key if self.key is not None else key_function
+
+        def replica_factory(shard_name):
+            return lambda: AggregateOperator(
+                shard_name,
                 window,
                 aggregate_function,
                 key_function,
                 contributors_function=contributors_function,
-            ),
+                tag_order_key=True,
+            )
+
+        return self._expand_parallel(
+            stage,
+            parallelism,
+            upstreams=[(self, partition_key, f"{stage}_partition", False)],
+            replica_kind="aggregate",
+            replica_factory=replica_factory,
             retention_s=window.size,
         )
 
@@ -413,19 +558,111 @@ class StreamBuilder:
         predicate,
         combiner,
         name: Optional[str] = None,
+        parallelism: int = 1,
     ) -> "StreamBuilder":
-        """Windowed join; ``self`` is the left input, ``other`` the right."""
+        """Windowed join; ``self`` is the left input, ``other`` the right.
+
+        With ``parallelism > 1`` both inputs must declare their key with
+        :meth:`key_by`; the join only pairs tuples whose keys are equal (the
+        predicate must imply key equality), so both sides are hash-routed to
+        ``parallelism`` key-disjoint replica joins and re-united by an
+        order-restoring Merge whose output matches the sequential stage's.
+        """
         if other.dataflow is not self.dataflow:
             raise DataflowError("cannot join stages of different dataflows")
         stage = name or self.dataflow._fresh_name("join")
-        builder = self._then(
-            "join",
+        if parallelism <= 1:
+            builder = self._then(
+                "join",
+                stage,
+                lambda: JoinOperator(stage, window_size, predicate, combiner),
+                retention_s=window_size,
+            )
+            self.dataflow._add_edge(other.node, builder.node, out_port=other.out_port)
+            return builder
+        if self.key is None or other.key is None:
+            raise DataflowError(
+                f"stage {stage!r}: a parallel join needs both inputs keyed -- "
+                "declare the partition keys with .key_by(...) on the left and "
+                "right builders (the join predicate must imply key equality)"
+            )
+
+        def replica_factory(shard_name):
+            return lambda: JoinOperator(
+                shard_name, window_size, predicate, combiner, tag_order_key=True
+            )
+
+        return self._expand_parallel(
             stage,
-            lambda: JoinOperator(stage, window_size, predicate, combiner),
+            parallelism,
+            upstreams=[
+                (self, self.key, f"{stage}_left_partition", True),
+                (other, other.key, f"{stage}_right_partition", True),
+            ],
+            replica_kind="join",
+            replica_factory=replica_factory,
             retention_s=window_size,
         )
-        self.dataflow._add_edge(other.node, builder.node, out_port=other.out_port)
-        return builder
+
+    def _expand_parallel(
+        self,
+        stage: str,
+        parallelism: int,
+        upstreams,
+        replica_kind: str,
+        replica_factory,
+        retention_s: float,
+    ) -> "StreamBuilder":
+        """Expand a logical stage into partition(s) -> replicas -> merge.
+
+        ``upstreams`` lists ``(builder, key_function, partition_name,
+        stamp_sequence)`` per input; partition ``p``'s output port ``i``
+        feeds replica ``i``'s input port ``p`` (so a join's left partition
+        stays its replicas' left input).
+        """
+        dataflow = self.dataflow
+        for builder, _, _, _ in upstreams:
+            upstream_node = dataflow._nodes[builder.node]
+            if upstream_node.unordered:
+                raise DataflowError(
+                    f"stage {stage!r}: cannot key-partition the unordered "
+                    f"stream leaving {builder.node!r}; the order-restoring "
+                    "merge (and the sharded operators) need timestamp-ordered "
+                    "input -- place .sort() before the parallel stage"
+                )
+        partitions = []
+        for builder, key_function, partition_name, stamp in upstreams:
+            builder._then(
+                "partition",
+                partition_name,
+                _partition_factory(partition_name, key_function, stamp),
+            )
+            partitions.append(partition_name)
+        replicas = []
+        for index in range(parallelism):
+            shard = f"{stage}_shard{index}"
+            dataflow._add_node(replica_kind, shard, replica_factory(shard))
+            for partition_name in partitions:
+                dataflow._add_edge(partition_name, shard, out_port=index)
+            replicas.append(shard)
+        merge = f"{stage}_merge"
+        # The logical stage retains one window's worth of state regardless of
+        # the replica count (each key lives on exactly one shard), so the
+        # stage's retention is recorded once -- on the merge node -- keeping
+        # Dataflow.retention_s() (the default MU / baseline-resolver
+        # retention) identical to the sequential plan's.
+        dataflow._add_node("merge", merge, _merge_factory(merge), retention_s=retention_s)
+        for shard in replicas:
+            dataflow._add_edge(shard, merge)
+        dataflow._register_parallel(
+            ParallelStage(
+                name=stage,
+                partitions=tuple(partitions),
+                replicas=tuple(replicas),
+                merge=merge,
+            )
+        )
+        return StreamBuilder(dataflow, merge)
 
     # -- fan-out / fan-in ---------------------------------------------------------
     def split(self, name: Optional[str] = None) -> "StreamBuilder":
@@ -495,4 +732,16 @@ class StreamBuilder:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         port = f", port={self.out_port}" if self.out_port is not None else ""
-        return f"StreamBuilder({self.dataflow.name!r} @ {self.node!r}{port})"
+        keyed = ", keyed" if self.key is not None else ""
+        return f"StreamBuilder({self.dataflow.name!r} @ {self.node!r}{port}{keyed})"
+
+
+def _partition_factory(name: str, key_function, stamp_sequence: bool):
+    """A fresh-per-lowering factory with the loop variables bound."""
+    return lambda: PartitionOperator(
+        name, key_function, stamp_sequence=stamp_sequence
+    )
+
+
+def _merge_factory(name: str):
+    return lambda: MergeOperator(name)

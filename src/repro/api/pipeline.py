@@ -81,6 +81,13 @@ class Placement:
     (``(upstream stage, downstream stage) -> label``); the label determines
     the channel / Send / Receive names (``send_<label>`` etc.).  Unnamed cut
     edges are labelled after their upstream stage.
+
+    Key-parallel stages can be placed at two granularities: assigning the
+    *logical* stage name (e.g. ``"stop_aggregate"`` declared with
+    ``parallelism=4``) puts the whole partition/replicas/merge expansion on
+    one instance, while assigning the member names directly (e.g.
+    ``"stop_aggregate_shard2"``) spreads the replicas of one logical stage
+    across SPE instances so shards can live on different nodes.
     """
 
     def __init__(
@@ -114,21 +121,54 @@ class Placement:
         return owner
 
     def validate_against(self, dataflow: Dataflow) -> Dict[str, str]:
-        """Check the placement covers ``dataflow`` exactly; return the owner map."""
-        owner = self.instance_of()
-        missing = [name for name in dataflow.node_names if name not in owner]
+        """Check the placement covers ``dataflow`` exactly; return the owner map.
+
+        Logical parallel-stage names are expanded to their member nodes.
+        Unknown and duplicated assignments are reported *with the offending
+        instance names*, so a typo'd or doubly-placed stage points straight
+        at the instances to fix.
+        """
+        owners: Dict[str, List[str]] = {}
+        unknown: Dict[str, List[str]] = {}
+        for instance, stages in self.assignments.items():
+            for stage in stages:
+                members = dataflow.members_of(stage)
+                if members is None:
+                    unknown.setdefault(stage, []).append(instance)
+                    continue
+                for member in members:
+                    owners.setdefault(member, []).append(instance)
+        if unknown:
+            offenders = "; ".join(
+                f"{stage!r} (assigned by instance(s) {instances!r})"
+                for stage, instances in unknown.items()
+            )
+            raise DataflowError(
+                f"placement assigns unknown stage(s) {offenders}; dataflow "
+                f"{dataflow.name!r} declares {dataflow.node_names!r}"
+                + (
+                    f" and parallel stage(s) {dataflow.parallel_stage_names!r}"
+                    if dataflow.parallel_stage_names
+                    else ""
+                )
+            )
+        duplicated = {
+            stage: instances for stage, instances in owners.items() if len(instances) > 1
+        }
+        if duplicated:
+            offenders = "; ".join(
+                f"{stage!r} is assigned to both {instances[0]!r} and "
+                f"{', '.join(repr(i) for i in instances[1:])}"
+                for stage, instances in duplicated.items()
+            )
+            raise DataflowError(f"placement duplicates stage(s): {offenders}")
+        missing = [name for name in dataflow.node_names if name not in owners]
         if missing:
             raise DataflowError(
                 f"placement does not assign stage(s) {missing!r} of dataflow "
                 f"{dataflow.name!r} to an instance"
             )
-        unknown = [name for name in owner if name not in dataflow]
-        if unknown:
-            raise DataflowError(
-                f"placement assigns unknown stage(s) {unknown!r}; dataflow "
-                f"{dataflow.name!r} declares {dataflow.node_names!r}"
-            )
-        return owner
+        return {stage: instances[0] for stage, instances in owners.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Placement(instances={list(self.assignments)!r})"

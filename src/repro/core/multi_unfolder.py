@@ -12,6 +12,14 @@ unfolded delivering streams received from instances closer to the sources
   ``id_o`` -- i.e. the upstream unfolding of the very tuple that crossed the
   process boundary.
 
+The replacement is applied *recursively* by the fused MU: when the matched
+upstream tuple's own originating part is still REMOTE (its producing instance
+was itself fed across a process boundary, as happens with chained boundaries
+-- e.g. key-sharded stages whose partition, replicas and merge live on
+different instances), the combined tuple re-enters the derived path and keeps
+resolving against deeper upstream streams until it bottoms out at SOURCE
+tuples.
+
 Two implementations are provided, as in the paper: the fused
 :class:`MUOperator` and :func:`attach_mu` with ``fused=False``, the
 composition of standard operators of Figure 8 (Union of the upstream
@@ -22,7 +30,7 @@ bypass for SOURCE tuples in the derived stream).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List
+from typing import Any, Deque, Dict, List, Set, Tuple
 
 from repro.core.types import TupleType
 from repro.core.unfolder import (
@@ -90,6 +98,12 @@ class MUOperator(MultiInputOperator):
         self.retention = float(retention)
         self._upstream_by_id: Dict[str, List[StreamTuple]] = {}
         self._upstream_order: Deque[StreamTuple] = deque()
+        #: (sink_id, id_o) pairs already indexed; a logical tuple whose id
+        #: crosses several process boundaries (e.g. multiplex copies, which
+        #: share their input's id) ships the same unfolding record on every
+        #: boundary's upstream stream, and double-matching it would duplicate
+        #: sources in the final provenance.
+        self._upstream_pairs: Set[Tuple[Any, Any]] = set()
         self._derived_by_origin: Dict[str, List[StreamTuple]] = {}
         self._derived_order: Deque[StreamTuple] = deque()
 
@@ -112,6 +126,23 @@ class MUOperator(MultiInputOperator):
 
     def _process_upstream(self, upstream: StreamTuple) -> None:
         sink_id = upstream.get(SINK_ID_FIELD)
+        if (
+            sink_id == upstream.get(ORIGIN_ID_FIELD)
+            and upstream.get(ORIGIN_TYPE_FIELD) == TupleType.REMOTE.value
+        ):
+            # REMOTE identity record: a boundary SU unfolded a tuple that
+            # merely *passed through* its instance (Receive -> forwarding
+            # operators -> Send), so the unfolding is the tuple itself.  It
+            # adds no provenance information -- the informative record for
+            # this id comes from the boundary where the id was minted -- and
+            # combining with it would loop the recursive replacement forever.
+            # (SOURCE identity records, by contrast, are kept: they terminate
+            # a chain by delivering the originating source tuple's payload.)
+            return
+        pair = (sink_id, upstream.get(ORIGIN_ID_FIELD))
+        if pair in self._upstream_pairs:
+            return
+        self._upstream_pairs.add(pair)
         self._upstream_by_id.setdefault(sink_id, []).append(upstream)
         self._upstream_order.append(upstream)
         for derived in self._derived_by_origin.get(sink_id, ()):  # waiting derived tuples
@@ -125,6 +156,15 @@ class MUOperator(MultiInputOperator):
         out.wall = max(derived.wall, upstream.wall)
         newer, older = (derived, upstream) if derived.ts >= upstream.ts else (upstream, derived)
         self.provenance.on_join_output(out, newer, older)
+        if out.get(ORIGIN_TYPE_FIELD) != TupleType.SOURCE.value:
+            # The upstream unfolding itself crossed a process boundary
+            # (chained boundaries): the combined tuple still references a
+            # REMOTE originating tuple, so it becomes a derived tuple again
+            # and keeps resolving against the deeper upstream streams.  The
+            # chain of unique ids is finite and acyclic (each hop moves one
+            # instance closer to the sources), so this terminates.
+            self._process_derived(out)
+            return
         self.emit(out)
 
     # -- state management -----------------------------------------------------------
@@ -132,7 +172,12 @@ class MUOperator(MultiInputOperator):
         if watermark == float("inf"):
             return
         horizon = watermark - self.retention
-        self._purge(self._upstream_order, self._upstream_by_id, SINK_ID_FIELD, horizon)
+        for tup in self._purge(
+            self._upstream_order, self._upstream_by_id, SINK_ID_FIELD, horizon
+        ):
+            self._upstream_pairs.discard(
+                (tup.get(SINK_ID_FIELD), tup.get(ORIGIN_ID_FIELD))
+            )
         self._purge(self._derived_order, self._derived_by_origin, ORIGIN_ID_FIELD, horizon)
 
     @staticmethod
@@ -141,9 +186,11 @@ class MUOperator(MultiInputOperator):
         index: Dict[str, List[StreamTuple]],
         key_field: str,
         horizon: float,
-    ) -> None:
+    ) -> List[StreamTuple]:
+        purged: List[StreamTuple] = []
         while order and order[0].ts < horizon:
             tup = order.popleft()
+            purged.append(tup)
             key = tup.get(key_field)
             bucket = index.get(key)
             if not bucket:
@@ -154,6 +201,7 @@ class MUOperator(MultiInputOperator):
                 pass
             if not bucket:
                 del index[key]
+        return purged
 
     def buffered_tuples(self) -> int:
         """Number of tuples currently buffered while waiting for matches."""

@@ -7,7 +7,9 @@ The operator set mirrors section 2 of the paper:
   :class:`RouterOperator` (a Multiplex + Filters combination),
 * stateful: :class:`AggregateOperator`, :class:`JoinOperator`,
 * endpoints: :class:`SourceOperator`, :class:`SinkOperator`,
-* process boundaries: :class:`SendOperator`, :class:`ReceiveOperator`.
+* process boundaries: :class:`SendOperator`, :class:`ReceiveOperator`,
+* keyed data-parallelism: :class:`PartitionOperator` (stable-hash fan-out)
+  and :class:`MergeOperator` (order-restoring fan-in).
 """
 
 from repro.spe.operators.base import Operator, SingleInputOperator, MultiInputOperator
@@ -22,6 +24,8 @@ from repro.spe.operators.aggregate import AggregateOperator, WindowSpec
 from repro.spe.operators.join import JoinOperator
 from repro.spe.operators.send_receive import SendOperator, ReceiveOperator
 from repro.spe.operators.sort import SortOperator
+from repro.spe.operators.partition import PartitionOperator, stable_shard
+from repro.spe.operators.merge import MergeOperator
 
 __all__ = [
     "Operator",
@@ -41,4 +45,7 @@ __all__ = [
     "SendOperator",
     "ReceiveOperator",
     "SortOperator",
+    "PartitionOperator",
+    "stable_shard",
+    "MergeOperator",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 from operator import attrgetter
-from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.spe.errors import QueryValidationError
 from repro.spe.operators.base import SingleInputOperator
@@ -82,6 +82,12 @@ class AggregateOperator(SingleInputOperator):
         maximum tuple).  The subset is handed to the provenance manager,
         enabling the window-provenance optimisation of the paper's future
         work (section 9, item i); query semantics are unaffected.
+    tag_order_key:
+        Set on the replicas of a key-sharded parallel aggregate: every output
+        tuple's ``order_key`` is tagged with its group key's sort value, so
+        the downstream :class:`~repro.spe.operators.merge.MergeOperator` can
+        restore the sequential flush order (equal-timestamp windows flush in
+        sorted-key order) across shards.
     """
 
     max_inputs = 1
@@ -96,12 +102,14 @@ class AggregateOperator(SingleInputOperator):
         contributors_function: Optional[
             Callable[[Sequence[StreamTuple], Hashable, Mapping[str, Any]], Sequence[StreamTuple]]
         ] = None,
+        tag_order_key: bool = False,
     ) -> None:
         super().__init__(name)
         self.window = window
         self._aggregate_function = aggregate_function
         self._key_function = key_function
         self._contributors_function = contributors_function
+        self._tag_order_key = tag_order_key
         self._groups: Dict[Hashable, List[StreamTuple]] = {}
         #: group keys in deterministic flush order; rebuilt lazily after the
         #: key set changes (so steady-state flushes skip the per-window sort).
@@ -202,6 +210,8 @@ class AggregateOperator(SingleInputOperator):
                 values = dict(values)
             out = StreamTuple.owned(ts=out_ts, values=owned_values(values))
             out.wall = max(t.wall for t in window_tuples)
+            if self._tag_order_key:
+                out.order_key = _key_sort_value(key)
             contributors = None
             if self._contributors_function is not None:
                 contributors = list(self._contributors_function(window_tuples, key, values))
@@ -245,8 +255,19 @@ class AggregateOperator(SingleInputOperator):
         return sum(len(tuples) for tuples in self._groups.values())
 
 
-def _key_sort_value(key: Hashable) -> str:
-    return "" if key is None else str(key)
+def _key_sort_value(key: Hashable) -> Tuple[str, str]:
+    """Deterministic flush-order sort value of a group key.
+
+    ``str`` is the primary component (human-friendly: "m2" < "m10" stays
+    string-ordered as before); ``repr`` breaks ties between *distinct* keys
+    whose ``str`` collides (e.g. ``1`` vs ``"1"``), making the order a total
+    function of the key set.  That totality is what lets the key-sharded
+    parallel plan -- whose Merge sorts equal-timestamp outputs by this same
+    value -- reproduce the sequential flush order byte-for-byte.
+    """
+    if key is None:
+        return ("", "None")
+    return (str(key), repr(key))
 
 
 #: fast timestamp accessor for the bisect-bounded window slices.

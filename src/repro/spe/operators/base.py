@@ -43,6 +43,9 @@ class Operator:
         self.provenance: ProvenanceManager = NoProvenance()
         self.tuples_in = 0
         self.tuples_out = 0
+        #: ``work``/``work_per_tuple`` invocations by a scheduler; the
+        #: parallel-scaling benchmark reads this per replica shard.
+        self.work_calls = 0
         self._in_watermark = float("-inf")
         self._out_watermark = float("-inf")
         self._outputs_closed = False

@@ -43,6 +43,17 @@ class JoinOperator(MultiInputOperator):
         (returning ``None`` suppresses the pair).  A returned plain dict is
         taken over by the engine without copying -- the combiner must build a
         fresh mapping per call and not mutate it afterwards.
+    tag_order_key:
+        Set on the replicas of a key-sharded parallel join.  The sequential
+        join emits pairs in consumption order of the newer tuple, then in
+        buffer (= consumption) order of the older one; a shard only sees its
+        keys' subsequence of that order.  With this flag each output tuple's
+        ``order_key`` is tagged with ``(newer input index, newer partition
+        sequence stamp, older ts, older partition sequence stamp)`` -- the
+        global rank of the pair -- so the downstream
+        :class:`~repro.spe.operators.merge.MergeOperator` can interleave the
+        shards back into the sequential emission order.  Requires the join's
+        inputs to be fed by sequence-stamping Partitions.
     """
 
     max_inputs = 2
@@ -54,6 +65,7 @@ class JoinOperator(MultiInputOperator):
         window_size: float,
         predicate: JoinPredicate,
         combiner: JoinCombiner,
+        tag_order_key: bool = False,
     ) -> None:
         super().__init__(name)
         if window_size < 0:
@@ -61,6 +73,7 @@ class JoinOperator(MultiInputOperator):
         self.window_size = float(window_size)
         self._predicate = predicate
         self._combiner = combiner
+        self._tag_order_key = tag_order_key
         self._buffers: Dict[int, Deque[StreamTuple]] = {LEFT: deque(), RIGHT: deque()}
         self.pairs_emitted = 0
 
@@ -79,8 +92,21 @@ class JoinOperator(MultiInputOperator):
             left, right = (tup, candidate) if input_index == LEFT else (candidate, tup)
             if not self._predicate(left, right):
                 continue
-            self._emit_pair(left, right, newer=tup, older=candidate)
+            self._emit_pair(left, right, newer=tup, older=candidate, newer_index=input_index)
         self._buffers[input_index].append(tup)
+
+    def _pair_order_key(
+        self, newer: StreamTuple, older: StreamTuple, newer_index: int
+    ):
+        newer_seq = newer.order_key
+        older_seq = older.order_key
+        if newer_seq is None or older_seq is None:
+            raise QueryValidationError(
+                f"join {self.name!r} tags pair order keys but its inputs carry "
+                "no partition sequence stamps; feed it from a "
+                "PartitionOperator(stamp_sequence=True)"
+            )
+        return (newer_index, newer_seq, older.ts, older_seq)
 
     def _emit_pair(
         self,
@@ -88,6 +114,7 @@ class JoinOperator(MultiInputOperator):
         right: StreamTuple,
         newer: StreamTuple,
         older: StreamTuple,
+        newer_index: int,
     ) -> None:
         values = self._combiner(left, right)
         if values is None:
@@ -99,6 +126,8 @@ class JoinOperator(MultiInputOperator):
             values = dict(values)
         out = StreamTuple.owned(ts=max(left.ts, right.ts), values=owned_values(values))
         out.wall = max(left.wall, right.wall)
+        if self._tag_order_key:
+            out.order_key = self._pair_order_key(newer, older, newer_index)
         self.provenance.on_join_output(out, newer, older)
         self.pairs_emitted += 1
         self.emit(out)

@@ -12,7 +12,9 @@ from repro.spe.operators.base import Operator
 from repro.spe.operators.filter import FilterOperator
 from repro.spe.operators.join import JoinOperator
 from repro.spe.operators.map import FlatMapOperator, MapOperator
+from repro.spe.operators.merge import MergeOperator
 from repro.spe.operators.multiplex import MultiplexOperator
+from repro.spe.operators.partition import PartitionOperator
 from repro.spe.operators.router import RouterOperator
 from repro.spe.operators.send_receive import ReceiveOperator, SendOperator
 from repro.spe.operators.sink import SinkOperator
@@ -107,6 +109,24 @@ class Query:
     def add_union(self, name: str) -> UnionOperator:
         """Add a Union operator merging several streams."""
         return self.add(UnionOperator(name))
+
+    def add_partition(
+        self,
+        name: str,
+        key_function,
+        partitioner=None,
+        stamp_sequence: bool = False,
+    ) -> PartitionOperator:
+        """Add a Partition hash-routing tuples to one shard output per ``connect``."""
+        return self.add(
+            PartitionOperator(
+                name, key_function, partitioner=partitioner, stamp_sequence=stamp_sequence
+            )
+        )
+
+    def add_merge(self, name: str) -> MergeOperator:
+        """Add an order-restoring Merge re-uniting key-sharded streams."""
+        return self.add(MergeOperator(name))
 
     def add_aggregate(
         self,

@@ -113,6 +113,7 @@ class Scheduler:
                     )
                 operator = ready.popleft()
                 operator._queued = False
+                operator.work_calls += 1
                 if operator.work():
                     progress = True
                 self.wakeups += 1
@@ -202,6 +203,7 @@ class PollingScheduler:
         """Run one pass over every operator; return True if anything progressed."""
         progress = False
         for operator in self._operators():
+            operator.work_calls += 1
             if operator.work_per_tuple():
                 progress = True
         self.passes += 1

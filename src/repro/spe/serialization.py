@@ -25,6 +25,12 @@ def serialize_tuple(tup: StreamTuple, provenance_payload: Dict[str, Any]) -> str
         "wall": tup.wall,
         "prov": provenance_payload,
     }
+    if tup.order_key is not None:
+        # Keyed data-parallelism: partition sequence stamps and replica
+        # emission ranks must survive the process boundary so a Merge on
+        # another instance can restore the sequential order.  Absent
+        # everywhere else, keeping non-parallel payloads byte-stable.
+        document["ord"] = tup.order_key
     try:
         return json.dumps(document, separators=(",", ":"))
     except (TypeError, ValueError) as exc:
@@ -45,4 +51,9 @@ def deserialize_tuple(data: str) -> Tuple[StreamTuple, Dict[str, Any]]:
         )
     except KeyError as exc:
         raise SerializationError(f"tuple payload missing field {exc}") from exc
+    order_key = document.get("ord")
+    if order_key is not None:
+        # JSON turns tuples into lists; restore the tuple form so locally
+        # forwarded and deserialised order keys compare against each other.
+        tup.order_key = tuple(order_key) if isinstance(order_key, list) else order_key
     return tup, document.get("prov", {})

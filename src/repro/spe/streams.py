@@ -181,6 +181,21 @@ class Stream:
             return self._queue[0].ts
         return self._watermark
 
+    @property
+    def settled(self) -> float:
+        """Largest bound ``B`` such that no tuple with ``ts < B`` can still appear.
+
+        Like :attr:`frontier`, but an empty stream also exploits the ordering
+        contract (future pushes cannot precede the last pushed timestamp), so
+        a producer that emitted data without advancing its watermark yet does
+        not hold the bound back.  The order-restoring Merge uses this to
+        decide which buffered tuples can no longer gain equal-timestamp
+        companions.
+        """
+        if self._queue:
+            return self._queue[0].ts
+        return max(self._watermark, self._last_ts)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Stream(name={self.name!r}, queued={len(self._queue)}, "

@@ -28,7 +28,17 @@ from repro.spe.scheduler import Scheduler
 
 
 class InstanceWorker(threading.Thread):
-    """Drives one SPE instance until it is quiescent."""
+    """Drives one SPE instance until it is quiescent.
+
+    An idle worker *blocks* on :attr:`wake_event` instead of sleeping in a
+    poll loop: the instance's channels signal their Receive operator on every
+    send / watermark advance / close (the same ``_wake`` consumer-signalling
+    hook the event-driven scheduler uses), the Receive's ``signal()`` enqueues
+    it on this worker's scheduler, and the scheduler's ``on_wake`` hook --
+    installed below -- sets the event from the producing thread.
+    ``poll_interval_s`` is retained as a safety-net wait timeout (scaled up;
+    a lost wake-up would otherwise block forever), not as a spin interval.
+    """
 
     def __init__(
         self,
@@ -41,20 +51,28 @@ class InstanceWorker(threading.Thread):
         self.scheduler = Scheduler(instance)
         self.poll_interval_s = poll_interval_s
         self.stop_event = stop_event or threading.Event()
+        self.wake_event = threading.Event()
+        # Channel activity (another worker's Send) lands in this scheduler's
+        # ready queue; surface it as a thread wake-up.  Event.set is
+        # thread-safe, so the producing thread may call this directly.
+        self.scheduler.on_wake = lambda _scheduler: self.wake_event.set()
         self.passes = 0
         self.error: Optional[BaseException] = None
 
     def run(self) -> None:  # pragma: no cover - exercised through ThreadedRuntime
         try:
             while not self.stop_event.is_set():
+                self.wake_event.clear()
                 progressed = self.scheduler.step()
                 self.passes += 1
                 if self.scheduler.finished:
                     return
-                if not progressed:
-                    # Waiting for tuples from another instance: yield the CPU
-                    # instead of spinning.
-                    time.sleep(self.poll_interval_s)
+                if not progressed and not self.scheduler.has_ready_work:
+                    # Waiting for tuples from another instance: block until a
+                    # channel signals this instance (clearing happened before
+                    # the step, so a signal raced in since then either left
+                    # ready work -- checked above -- or the event set).
+                    self.wake_event.wait(timeout=max(self.poll_interval_s * 100, 0.05))
         except BaseException as exc:  # noqa: BLE001 - propagated by the runtime
             self.error = exc
 
@@ -98,6 +116,10 @@ class ThreadedRuntime:
                     )
         finally:
             self._stop_event.set()
+            # Unblock any worker parked on its wake event so it can observe
+            # the stop request instead of waiting out the safety-net timeout.
+            for worker in self.workers:
+                worker.wake_event.set()
         for worker in self.workers:
             if worker.error is not None:
                 raise SchedulingError(

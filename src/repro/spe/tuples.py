@@ -42,7 +42,7 @@ class StreamTuple:
         Wall-clock arrival instant of the latest contributing source tuple.
     """
 
-    __slots__ = ("ts", "values", "meta", "wall", "__weakref__")
+    __slots__ = ("ts", "values", "meta", "wall", "order_key", "__weakref__")
 
     def __init__(
         self,
@@ -55,6 +55,12 @@ class StreamTuple:
         self.values: Dict[str, Any] = dict(values) if values else {}
         self.meta = meta
         self.wall = wall
+        #: opaque comparable tag used by the keyed data-parallel machinery:
+        #: a Partition stamps forwarded tuples with their stream sequence
+        #: number, sharded Aggregate/Join replicas tag outputs with their
+        #: sequential emission rank, and the order-restoring Merge sorts
+        #: equal-timestamp tuples by it (then clears it).  None elsewhere.
+        self.order_key = None
 
     # -- attribute access -------------------------------------------------
     def __getitem__(self, key: str) -> Any:
@@ -96,6 +102,7 @@ class StreamTuple:
         self.values = values if values is not None else {}
         self.meta = meta
         self.wall = wall
+        self.order_key = None
         return self
 
     # -- derivation helpers ------------------------------------------------
@@ -129,7 +136,11 @@ class StreamTuple:
 
     def copy(self) -> "StreamTuple":
         """Return a shallow copy (new values dict, same meta reference)."""
-        return StreamTuple(ts=self.ts, values=self.values, meta=self.meta, wall=self.wall)
+        duplicate = StreamTuple(
+            ts=self.ts, values=self.values, meta=self.meta, wall=self.wall
+        )
+        duplicate.order_key = self.order_key
+        return duplicate
 
     # -- comparison / debugging -------------------------------------------
     def same_payload(self, other: "StreamTuple") -> bool:

@@ -145,8 +145,13 @@ def anomaly_alert(tup: StreamTuple) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def q1_dataflow(supplier) -> Dataflow:
-    """Q1 - detecting broken-down cars (Figure 1)."""
+def q1_dataflow(supplier, parallelism: int = 1) -> Dataflow:
+    """Q1 - detecting broken-down cars (Figure 1).
+
+    ``parallelism > 1`` shards the per-car Aggregate across key-disjoint
+    replicas (hash-partitioned on ``car_id``, re-united by an
+    order-restoring Merge); results are identical to the sequential plan.
+    """
     df = Dataflow("q1")
     (df.source("source", supplier)
        .filter(lambda t: t["speed"] == 0, name="stopped_filter")
@@ -155,14 +160,19 @@ def q1_dataflow(supplier) -> Dataflow:
            stopped_car_aggregate,
            key_function=lambda t: t["car_id"],
            name="stop_aggregate",
+           parallelism=parallelism,
        )
        .filter(stopped_car_alert, name="alert_filter")
        .sink("sink"))
     return df
 
 
-def q2_dataflow(supplier) -> Dataflow:
-    """Q2 - detecting accidents (Figure 9A)."""
+def q2_dataflow(supplier, parallelism: int = 1) -> Dataflow:
+    """Q2 - detecting accidents (Figure 9A).
+
+    ``parallelism > 1`` shards both Aggregates: the stop counter on
+    ``car_id`` and the accident counter on ``last_pos``.
+    """
     df = Dataflow("q2")
     (df.source("source", supplier)
        .filter(lambda t: t["speed"] == 0, name="stopped_filter")
@@ -171,6 +181,7 @@ def q2_dataflow(supplier) -> Dataflow:
            stopped_car_aggregate,
            key_function=lambda t: t["car_id"],
            name="stop_aggregate",
+           parallelism=parallelism,
        )
        .filter(stopped_car_alert, name="stopped_alert_filter")
        .aggregate(
@@ -178,14 +189,20 @@ def q2_dataflow(supplier) -> Dataflow:
            accident_aggregate,
            key_function=lambda t: t["last_pos"],
            name="accident_aggregate",
+           parallelism=parallelism,
        )
        .filter(accident_alert, name="accident_alert_filter")
        .sink("sink"))
     return df
 
 
-def q3_dataflow(supplier) -> Dataflow:
-    """Q3 - long-term blackout detection (Figure 10A)."""
+def q3_dataflow(supplier, parallelism: int = 1) -> Dataflow:
+    """Q3 - long-term blackout detection (Figure 10A).
+
+    ``parallelism > 1`` shards the per-meter daily Aggregate on
+    ``meter_id``; the blackout counter aggregates the whole (filtered)
+    stream into one group and therefore stays sequential.
+    """
     df = Dataflow("q3")
     (df.source("source", supplier)
        .aggregate(
@@ -193,6 +210,7 @@ def q3_dataflow(supplier) -> Dataflow:
            daily_consumption_aggregate,
            key_function=lambda t: t["meter_id"],
            name="daily_aggregate",
+           parallelism=parallelism,
        )
        .filter(zero_consumption, name="zero_filter")
        .aggregate(
@@ -205,23 +223,31 @@ def q3_dataflow(supplier) -> Dataflow:
     return df
 
 
-def q4_dataflow(supplier) -> Dataflow:
-    """Q4 - meter anomaly detection (Figure 11A)."""
+def q4_dataflow(supplier, parallelism: int = 1) -> Dataflow:
+    """Q4 - meter anomaly detection (Figure 11A).
+
+    ``parallelism > 1`` shards the daily Aggregate *and* the Join, both on
+    ``meter_id`` (the join predicate pairs same-meter tuples only, so keyed
+    sharding preserves the pair set).
+    """
+    meter_key = lambda t: t["meter_id"]  # noqa: E731 - the queries use lambdas throughout
     df = Dataflow("q4")
     split = df.source("source", supplier).split(name="multiplex")
     daily = split.aggregate(
         WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY, emit_at="end"),
         daily_consumption_aggregate,
-        key_function=lambda t: t["meter_id"],
+        key_function=meter_key,
         name="daily_aggregate",
+        parallelism=parallelism,
     )
     midnight = split.filter(midnight_measurement, name="midnight_filter")
-    (daily.join(
-         midnight,
+    (daily.key_by(meter_key).join(
+         midnight.key_by(meter_key),
          window_size=SECONDS_PER_HOUR,
          predicate=same_meter,
          combiner=consumption_difference,
          name="anomaly_join",
+         parallelism=parallelism,
      )
      .filter(anomaly_alert, name="anomaly_alert_filter")
      .sink("sink"))
@@ -280,13 +306,17 @@ QUERY_WINDOW_SUMS: Dict[str, float] = {
 }
 
 
-def query_dataflow(name: str, supplier) -> Dataflow:
-    """The fluent dataflow of query ``name`` ("q1".."q4") over ``supplier``."""
+def query_dataflow(name: str, supplier, parallelism: int = 1) -> Dataflow:
+    """The fluent dataflow of query ``name`` ("q1".."q4") over ``supplier``.
+
+    ``parallelism`` shards the keyed stateful stages (see each query factory);
+    ``1`` is the exact sequential plan of the paper.
+    """
     try:
         factory = QUERY_DATAFLOWS[name.lower()]
     except KeyError:
         raise ValueError(f"unknown query {name!r}; expected one of {QUERY_NAMES}") from None
-    return factory(supplier)
+    return factory(supplier, parallelism=parallelism)
 
 
 def query_placement(name: str) -> Placement:
@@ -297,6 +327,85 @@ def query_placement(name: str) -> Placement:
         raise ValueError(f"unknown query {name!r}; expected one of {QUERY_NAMES}") from None
 
 
+def query_parallel_placement(name: str, parallelism: int) -> Placement:
+    """A placement spreading each replica shard onto its own SPE instance.
+
+    Extends the paper's two processing instances with one ``shard<i>``
+    instance per replica: ``spe1`` keeps the sources/filters and the hash
+    Partition(s), every replica of a parallel stage runs on its own
+    ``shard<i>`` instance, and ``spe2`` hosts the order-restoring Merge and
+    the rest of the query (chained parallel stages co-locate their replicas
+    shard-wise, so ``shard<i>`` carries replica ``i`` of every stage).
+    """
+    query = name.lower()
+    shard_names = [f"shard{i}" for i in range(parallelism)]
+    if query == "q1":
+        assignments = {
+            "spe1": ["source", "stopped_filter", "stop_aggregate_partition"],
+            **{s: [f"stop_aggregate_shard{i}"] for i, s in enumerate(shard_names)},
+            "spe2": ["stop_aggregate_merge", "alert_filter", "sink"],
+        }
+    elif query == "q2":
+        # The two parallel stages are chained, so their shards need distinct
+        # instance tiers: routing the second stage back through the first
+        # stage's shard instances would create an instance-graph cycle.
+        assignments = {
+            "spe1": ["source", "stopped_filter", "stop_aggregate_partition"],
+            **{s: [f"stop_aggregate_shard{i}"] for i, s in enumerate(shard_names)},
+            "spe2": [
+                "stop_aggregate_merge",
+                "stopped_alert_filter",
+                "accident_aggregate_partition",
+            ],
+            **{
+                f"accident_{s}": [f"accident_aggregate_shard{i}"]
+                for i, s in enumerate(shard_names)
+            },
+            "spe3": [
+                "accident_aggregate_merge",
+                "accident_alert_filter",
+                "sink",
+            ],
+        }
+    elif query == "q3":
+        assignments = {
+            "spe1": ["source", "daily_aggregate_partition"],
+            **{s: [f"daily_aggregate_shard{i}"] for i, s in enumerate(shard_names)},
+            "spe2": [
+                "daily_aggregate_merge",
+                "zero_filter",
+                "blackout_aggregate",
+                "blackout_alert_filter",
+                "sink",
+            ],
+        }
+    elif query == "q4":
+        # Like q2, the sharded Join is downstream of the sharded Aggregate,
+        # so the join replicas get their own instance tier.
+        assignments = {
+            "spe1": [
+                "source",
+                "multiplex",
+                "midnight_filter",
+                "daily_aggregate_partition",
+            ],
+            **{s: [f"daily_aggregate_shard{i}"] for i, s in enumerate(shard_names)},
+            "spe2": [
+                "daily_aggregate_merge",
+                "anomaly_join_left_partition",
+                "anomaly_join_right_partition",
+            ],
+            **{
+                f"join_{s}": [f"anomaly_join_shard{i}"]
+                for i, s in enumerate(shard_names)
+            },
+            "spe3": ["anomaly_join_merge", "anomaly_alert_filter", "sink"],
+        }
+    else:
+        raise ValueError(f"unknown query {name!r}; expected one of {QUERY_NAMES}")
+    return Placement(assignments)
+
+
 def query_pipeline(
     name: str,
     supplier,
@@ -304,19 +413,30 @@ def query_pipeline(
     deployment: str = "intra",
     fused: bool = True,
     execution: str = "event",
+    parallelism: int = 1,
 ) -> Pipeline:
     """A ready-to-run :class:`Pipeline` for query ``name``.
 
     ``deployment`` is ``"intra"`` (single process, deterministic Scheduler)
     or ``"inter"`` (the paper's three-instance DistributedRuntime deployment).
     ``execution`` is ``"event"`` (readiness-driven batch scheduler, default)
-    or ``"polling"`` (the legacy whole-graph polling oracle).
+    or ``"polling"`` (the legacy whole-graph polling oracle).  ``parallelism``
+    shards the keyed stateful stages; inter-process deployments then use
+    :func:`query_parallel_placement`, spreading each replica onto its own
+    SPE instance.
     """
     if deployment not in ("intra", "inter"):
         raise ValueError(f"unknown deployment {deployment!r}; expected 'intra' or 'inter'")
-    placement = query_placement(name) if deployment == "inter" else None
+    if deployment == "inter":
+        placement = (
+            query_parallel_placement(name, parallelism)
+            if parallelism > 1
+            else query_placement(name)
+        )
+    else:
+        placement = None
     return Pipeline(
-        query_dataflow(name, supplier),
+        query_dataflow(name, supplier, parallelism=parallelism),
         provenance=mode,
         placement=placement,
         fused=fused,

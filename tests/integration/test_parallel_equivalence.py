@@ -1,0 +1,194 @@
+"""Keyed data-parallelism equivalence: sharded plans reproduce sequential plans.
+
+The keyed-parallel expansion (hash Partition -> key-disjoint replicas ->
+order-restoring Merge) must be *unobservable* in every result, mirroring the
+scheduler-equivalence discipline of the execution-core rewrite: for
+Q1-Q4 x {NP, GL, BL} x {intra, inter} x parallelism {2, 4}, the sink outputs
+must be byte-identical to the ``parallelism=1`` plan of the same deployment,
+and the provenance records must be identical after canonicalising the opaque
+tuple ids.
+
+The id canonicalisation here is stricter than a per-record content check --
+it preserves which records *share* ids (the referential structure) -- but,
+unlike the scheduler-equivalence helper, assigns canonical ids while walking
+each record's sources in content-sorted order: the within-record arrival
+order of unfolded tuples legitimately differs between plans (the Merge
+reorders upstream unfold streams), while the sink-to-sources mapping may not.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.provenance import ProvenanceMode
+from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+from repro.workloads.queries import query_pipeline
+from repro.workloads.smart_grid import SmartGridConfig, SmartGridGenerator
+
+LINEAR_ROAD = LinearRoadConfig(
+    n_cars=10, duration_s=1200.0, breakdown_probability=0.05, accident_probability=0.6, seed=31
+)
+#: blackout_meter_count > 7 so Q3's alert (count > 7) actually fires.
+SMART_GRID = SmartGridConfig(
+    n_meters=12,
+    n_days=3,
+    blackout_day_probability=1.0,
+    blackout_meter_count=9,
+    anomaly_probability=0.2,
+    seed=33,
+)
+
+ALL_QUERIES = ("q1", "q2", "q3", "q4")
+ALL_MODES = (ProvenanceMode.NONE, ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE)
+PARALLELISMS = (2, 4)
+
+
+def workload_for(query_name):
+    if query_name in ("q1", "q2"):
+        return LinearRoadGenerator(LINEAR_ROAD).tuples
+    return SmartGridGenerator(SMART_GRID).tuples
+
+
+def sink_bytes(sink):
+    """Canonical byte serialisation of a sink's received tuples, in order."""
+    return json.dumps(
+        [(t.ts, sorted(t.values.items(), key=lambda kv: kv[0])) for t in sink.received],
+        default=str,
+    ).encode()
+
+
+def provenance_bytes(records):
+    """Canonical bytes of provenance records, ids relabelled structurally.
+
+    Records are sorted by content; each record's sources are sorted by their
+    id-stripped content; canonical ids are then assigned in that traversal
+    order.  Two runs compare equal iff they map the same sink tuples to the
+    same source tuples with consistently shared id handles.
+    """
+    content = []
+    for record in records:
+        sources = []
+        for source in record.sources:
+            stripped = json.dumps(
+                {key: value for key, value in source.items() if key != "id_o"},
+                sort_keys=True,
+                default=str,
+            )
+            sources.append((stripped, source.get("id_o")))
+        sources.sort(key=lambda pair: pair[0])
+        content.append(
+            (
+                record.sink_ts,
+                json.dumps(sorted(record.sink_values.items()), default=str),
+                [pair[0] for pair in sources],
+                record,
+                sources,
+            )
+        )
+    content.sort(key=lambda entry: entry[:3])
+    canonical = {}
+
+    def canon(raw_id):
+        if raw_id is None:
+            return None
+        if raw_id not in canonical:
+            canonical[raw_id] = f"id{len(canonical)}"
+        return canonical[raw_id]
+
+    entries = []
+    for sink_ts, sink_values, _, record, sources in content:
+        entries.append(
+            (
+                sink_ts,
+                sink_values,
+                canon(record.sink_id),
+                [(stripped, canon(raw_id)) for stripped, raw_id in sources],
+            )
+        )
+    return json.dumps(entries, default=str).encode()
+
+
+#: (query, deployment, mode, parallelism) -> finished PipelineResult.
+_RESULT_CACHE = {}
+
+
+def run_cell(query_name, deployment, mode, parallelism):
+    key = (query_name, deployment, mode, parallelism)
+    if key not in _RESULT_CACHE:
+        pipeline = query_pipeline(
+            query_name,
+            workload_for(query_name),
+            mode=mode,
+            deployment=deployment,
+            parallelism=parallelism,
+        )
+        _RESULT_CACHE[key] = pipeline.run()
+    return _RESULT_CACHE[key]
+
+
+class TestParallelEquivalence:
+    """parallelism {2, 4} vs the parallelism=1 plan, per deployment."""
+
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    @pytest.mark.parametrize("mode", ALL_MODES, ids=lambda m: m.name)
+    @pytest.mark.parametrize("deployment", ("intra", "inter"))
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    def test_sink_and_provenance_identical(
+        self, query_name, deployment, mode, parallelism
+    ):
+        sequential = run_cell(query_name, deployment, mode, 1)
+        parallel = run_cell(query_name, deployment, mode, parallelism)
+        assert sink_bytes(parallel.sink) == sink_bytes(sequential.sink)
+        assert provenance_bytes(parallel.provenance_records()) == provenance_bytes(
+            sequential.provenance_records()
+        )
+
+    def test_suites_exercise_alerts(self):
+        """The chosen workloads must actually produce sink tuples (and, for
+        the provenance modes, records) -- otherwise the byte comparisons
+        above would pass vacuously."""
+        for query_name in ALL_QUERIES:
+            result = run_cell(query_name, "intra", ProvenanceMode.GENEALOG, 1)
+            assert result.sink.count > 0, f"{query_name} produced no alerts"
+            assert result.provenance_records(), f"{query_name} captured no provenance"
+
+
+class TestParallelDeployment:
+    """Structural properties of the sharded plans."""
+
+    @pytest.mark.parametrize("query_name", ALL_QUERIES)
+    def test_replicas_split_the_work(self, query_name):
+        """Every replica of the (first) sharded stage sees a strict subset of
+        the keyed stream, and the shards' inputs sum to the sequential
+        stage's input."""
+        sequential = run_cell(query_name, "intra", ProvenanceMode.NONE, 1)
+        parallel = run_cell(query_name, "intra", ProvenanceMode.NONE, 4)
+        stage = {
+            "q1": "stop_aggregate",
+            "q2": "stop_aggregate",
+            "q3": "daily_aggregate",
+            "q4": "daily_aggregate",
+        }[query_name]
+        replicas = [
+            op for op in parallel.query.operators if op.name.startswith(f"{stage}_shard")
+        ]
+        assert len(replicas) == 4
+        sequential_stage = next(
+            op for op in sequential.query.operators if op.name == stage
+        )
+        assert sum(op.tuples_in for op in replicas) == sequential_stage.tuples_in
+        busy = [op for op in replicas if op.tuples_in > 0]
+        assert len(busy) >= 2, "hash partitioning left all keys on one shard"
+
+    def test_inter_deployment_spreads_shards_across_instances(self):
+        result = run_cell("q1", "inter", ProvenanceMode.NONE, 2)
+        owners = {
+            op.name: instance.name
+            for instance in result.instances
+            for op in instance.operators
+        }
+        assert owners["stop_aggregate_shard0"] != owners["stop_aggregate_shard1"]
+        assert owners["stop_aggregate_partition"] == "spe1"
+        assert owners["stop_aggregate_merge"] == "spe2"

@@ -67,6 +67,41 @@ class TestThreadedRuntime:
         with pytest.raises(SchedulingError):
             runtime.run()
 
+    def test_channel_activity_sets_the_worker_wake_event(self):
+        # Idle workers block on wake_event instead of spinning; the event is
+        # set through the channel's consumer-signalling hook: channel ->
+        # Receive.signal() -> scheduler ready queue -> scheduler.on_wake.
+        from repro.spe.threaded import InstanceWorker
+
+        channel = Channel("feed")
+        instance = SPEInstance("waiting")
+        receive = instance.add_receive("receive", channel)
+        sink = instance.add_sink("sink")
+        instance.connect(receive, sink)
+        worker = InstanceWorker(instance)
+        worker.scheduler.step()  # seed pass; drains the empty ready queue
+        worker.wake_event.clear()
+        assert not worker.wake_event.is_set()
+        channel.send('{"ts": 1.0, "values": {}, "wall": 0.0, "prov": {}}')
+        assert worker.wake_event.is_set()
+
+    def test_stopping_the_runtime_unblocks_parked_workers(self):
+        channel = Channel("never-fed")
+        stuck = SPEInstance("stuck")
+        receive = stuck.add_receive("receive", channel)
+        sink = stuck.add_sink("sink")
+        stuck.connect(receive, sink)
+        runtime = ThreadedRuntime([stuck], timeout_s=0.2)
+        with pytest.raises(SchedulingError):
+            runtime.run()
+        # the failed run must have requested a stop and woken the worker so
+        # the (daemon) thread can exit instead of waiting forever.
+        (worker,) = runtime.workers
+        assert worker.stop_event.is_set()
+        assert worker.wake_event.is_set()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+
 
 class TestUpstreamBackup:
     def test_prunes_only_tuples_that_cannot_contribute(self):

@@ -164,3 +164,97 @@ class TestAttachMU:
         assert "mu_join" in names
         assert "mu_upstream_union" in names
         assert "mu_multiplex" in names
+
+
+class TestRecursiveStitching:
+    """Chained process boundaries (Definition 6.4 applied recursively).
+
+    Key-sharded stages place partition, replicas and merge on different
+    instances, so a derived tuple's REMOTE origin may itself unfold to
+    REMOTE origins one more boundary up; the fused MU must keep replacing
+    until it bottoms out at SOURCE tuples.
+    """
+
+    def wire(self, upstream_count=2, retention=1000.0):
+        mu = MUOperator("mu", retention=retention)
+        mu.set_provenance(GeneaLogProvenance(node_id="prov"))
+        derived_in = Stream("derived")
+        mu.add_input(derived_in)
+        upstream_ins = []
+        for index in range(upstream_count):
+            stream = Stream(f"upstream{index}")
+            mu.add_input(stream)
+            upstream_ins.append(stream)
+        out = Stream("out")
+        mu.add_output(out)
+        return mu, derived_in, upstream_ins, out
+
+    def test_two_hop_chain_resolves_to_sources(self):
+        mu, derived_in, (near, far), out = self.wire()
+        # sink <- REMOTE shard:7; shard:7 <- REMOTE spe1:1, spe1:2;
+        # spe1:1 / spe1:2 <- SOURCE payloads.
+        derived = unfolded(100, "sink:0", 90, "shard:7", "REMOTE", sink_alert=1)
+        near_tuples = [
+            unfolded(90, "shard:7", 60, "spe1:1", "REMOTE"),
+            unfolded(90, "shard:7", 70, "spe1:2", "REMOTE"),
+        ]
+        far_tuples = [
+            unfolded(60, "spe1:1", 60, "spe1:1", "SOURCE", car_id="a"),
+            unfolded(70, "spe1:2", 70, "spe1:2", "SOURCE", car_id="b"),
+        ]
+        feed(derived_in, [derived], close=True)
+        feed(near, near_tuples, close=True)
+        feed(far, far_tuples, close=True)
+        run_operator(mu)
+        results = collect(out)
+        assert sorted(t[ORIGIN_TS_FIELD] for t in results) == [60, 70]
+        assert sorted(t["car_id"] for t in results) == ["a", "b"]
+        assert all(t[ORIGIN_TYPE_FIELD] == "SOURCE" for t in results)
+        assert all(t[SINK_ID_FIELD] == "sink:0" for t in results)
+        assert all(t["sink_alert"] == 1 for t in results)
+
+    def test_remote_identity_records_are_ignored(self):
+        # A boundary SU unfolding a tuple that merely passed through its
+        # instance ships sink_id == id_o with type REMOTE; combining with it
+        # would loop the replacement forever.
+        mu, derived_in, (near, far), out = self.wire()
+        derived = unfolded(100, "sink:0", 90, "spe1:1", "REMOTE")
+        identity = unfolded(90, "spe1:1", 90, "spe1:1", "REMOTE")
+        resolving = unfolded(90, "spe1:1", 60, "spe1:0", "SOURCE", car_id="a")
+        feed(near, [identity], close=True)
+        feed(far, [resolving], close=True)
+        feed(derived_in, [derived], close=True)
+        run_operator(mu)
+        results = collect(out)
+        assert len(results) == 1
+        assert results[0]["car_id"] == "a"
+
+    def test_source_identity_records_terminate_a_chain(self):
+        # A forwarded source tuple's unfolding *is* itself (sink_id == id_o,
+        # type SOURCE): it must be kept -- it carries the source payload.
+        mu, derived_in, (near, far), out = self.wire()
+        derived = unfolded(100, "sink:0", 90, "spe1:1", "REMOTE")
+        identity = unfolded(90, "spe1:1", 90, "spe1:1", "SOURCE", car_id="a")
+        feed(near, [identity], close=True)
+        feed(far, [], close=True)
+        feed(derived_in, [derived], close=True)
+        run_operator(mu)
+        results = collect(out)
+        assert len(results) == 1
+        assert results[0]["car_id"] == "a"
+        assert results[0][ORIGIN_TYPE_FIELD] == "SOURCE"
+
+    def test_duplicate_cross_boundary_records_are_matched_once(self):
+        # The same logical tuple id can cross two different boundaries
+        # (multiplex copies share their input's id); the identical unfolding
+        # record then arrives on two upstream streams and must not double
+        # the sources of the final record.
+        mu, derived_in, (near, far), out = self.wire()
+        derived = unfolded(100, "sink:0", 90, "spe1:1", "REMOTE")
+        record = unfolded(90, "spe1:1", 60, "spe1:0", "SOURCE", car_id="a")
+        duplicate = unfolded(90, "spe1:1", 60, "spe1:0", "SOURCE", car_id="a")
+        feed(near, [record], close=True)
+        feed(far, [duplicate], close=True)
+        feed(derived_in, [derived], close=True)
+        run_operator(mu)
+        assert len(collect(out)) == 1
