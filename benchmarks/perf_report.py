@@ -19,6 +19,11 @@ bracketed by a hash Partition and an order-restoring Merge), with the
 per-replica ``work()``-call and tuple counts showing how the cooperative
 engine's work splits across shards.
 
+A **provenance-store** section measures the live provenance subsystem: the
+q1 GL intra cell with and without an attached in-memory
+:class:`~repro.provstore.ProvenanceLedger`, reporting the ingest overhead
+and the store's dedup ratio (source references per stored source entry).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_report.py                 # small scale
@@ -46,10 +51,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.api import Pipeline  # noqa: E402
 from repro.core.provenance import ProvenanceMode  # noqa: E402
 from repro.experiments.config import WorkloadScale, workload_config_for  # noqa: E402
 from repro.workloads.linear_road import LinearRoadGenerator  # noqa: E402
-from repro.workloads.queries import QUERY_NAMES, query_pipeline  # noqa: E402
+from repro.workloads.queries import (  # noqa: E402
+    QUERY_NAMES,
+    query_dataflow,
+    query_pipeline,
+)
 from repro.workloads.smart_grid import SmartGridGenerator  # noqa: E402
 
 #: the seed's source batch size (before the event-driven engine raised it).
@@ -145,14 +155,16 @@ def measure_parallel_scaling(tuples, repeats: int) -> List[Dict]:
             if seconds < best_seconds:
                 best_seconds = seconds
                 best_result = result
-        replicas = {}
-        for op in best_result.query.operators:
-            if op.name.startswith("stop_aggregate_shard") or op.name == "stop_aggregate":
-                replicas[op.name] = {
-                    "work_calls": op.work_calls,
-                    "tuples_in": op.tuples_in,
-                    "tuples_out": op.tuples_out,
-                }
+        snapshot = best_result.metrics()
+        replicas = {
+            name: {
+                "work_calls": counters.work_calls,
+                "tuples_in": counters.tuples_in,
+                "tuples_out": counters.tuples_out,
+            }
+            for name, counters in snapshot.operators.items()
+            if name.startswith("stop_aggregate_shard") or name == "stop_aggregate"
+        }
         rows.append(
             {
                 "parallelism": parallelism,
@@ -175,13 +187,73 @@ def measure_parallel_scaling(tuples, repeats: int) -> List[Dict]:
     return rows
 
 
+def measure_provenance_store(tuples, repeats: int) -> Dict:
+    """q1 GL intra with the live provenance store off vs on."""
+    from repro.provstore import ProvenanceLedger
+
+    legs = {}
+    store_stats = {}
+    for label, attach_store in (("off", False), ("on", True)):
+        best_seconds = float("inf")
+        best_ledger = None
+        for _ in range(repeats):
+            supplier = [t.copy() for t in tuples]
+            pipeline = Pipeline(
+                query_dataflow("q1", supplier),
+                provenance=ProvenanceMode.GENEALOG,
+                provenance_store=ProvenanceLedger() if attach_store else None,
+            )
+            result = pipeline.build()
+            started = time.perf_counter()
+            pipeline.run()
+            seconds = time.perf_counter() - started
+            if seconds < best_seconds:
+                best_seconds = seconds
+                best_ledger = result.store
+        legs[label] = {
+            "seconds": round(best_seconds, 6),
+            "tuples_per_second": round(len(tuples) / best_seconds, 1),
+        }
+        if best_ledger is not None:
+            store_stats = {
+                "mappings_sealed": best_ledger.sealed_count,
+                "source_entries": best_ledger.source_count,
+                "source_references": best_ledger.source_references,
+                "dedup_ratio": round(best_ledger.dedup_ratio, 3),
+                "duplicate_tuples": best_ledger.duplicate_tuples,
+            }
+    overhead = legs["on"]["seconds"] / legs["off"]["seconds"] - 1.0
+    row = {
+        "cell": "q1/GL/intra",
+        "note": (
+            "Live provenance store: ingest cost of materialising every sink "
+            "mapping into an in-memory ProvenanceLedger during the run, "
+            "relative to GL capture alone.  dedup_ratio = source references "
+            "per stored source entry (shared sources stored once)."
+        ),
+        "off": legs["off"],
+        "on": legs["on"],
+        "ingest_overhead": round(overhead, 4),
+        "store": store_stats,
+    }
+    print(
+        f"q1 GL intra provenance store: {legs['off']['tuples_per_second']:>12,.0f} "
+        f"-> {legs['on']['tuples_per_second']:>12,.0f} tps "
+        f"({overhead * 100:+.1f}% ingest overhead, dedup ratio "
+        f"{store_stats.get('dedup_ratio', 1.0):.2f})"
+    )
+    return row
+
+
 def build_report(scale: WorkloadScale, repeats: int) -> Dict:
     cells = []
     parallel_scaling = None
+    provenance_store = None
     for query_name in QUERY_NAMES:
         tuples = materialise_workload(query_name, scale)
         if query_name == "q1":
             parallel_scaling = measure_parallel_scaling(tuples, repeats)
+            provenance_store = measure_provenance_store(tuples, repeats)
         for deployment in DEPLOYMENTS:
             for mode in MODES:
                 cell = measure_cell(query_name, tuples, mode, deployment, repeats)
@@ -230,6 +302,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
             ),
             "rows": parallel_scaling,
         },
+        "provenance_store": provenance_store,
         "cells": cells,
     }
 

@@ -21,6 +21,12 @@ from repro.api.pipeline import (
     Placement,
     resolve_mode,
 )
+from repro.provstore import (
+    JsonlLedgerBackend,
+    MemoryLedgerBackend,
+    ProvenanceLedger,
+    open_provenance_store,
+)
 
 __all__ = [
     "Dataflow",
@@ -32,4 +38,8 @@ __all__ = [
     "Placement",
     "PROVENANCE_INSTANCE",
     "resolve_mode",
+    "JsonlLedgerBackend",
+    "MemoryLedgerBackend",
+    "ProvenanceLedger",
+    "open_provenance_store",
 ]

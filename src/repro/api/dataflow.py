@@ -86,6 +86,9 @@ class _Node:
     instance: Optional[Operator] = None
     #: non-empty when the node can only be lowered once; explains why.
     single_use_reason: str = ""
+    #: sinks only: opt this sink in (True) / out (False) of provenance
+    #: capture; None keeps the default (capture at every sink).
+    capture_provenance: Optional[bool] = None
     _instantiated: bool = False
 
     def instantiate(self) -> Operator:
@@ -324,6 +327,20 @@ class Dataflow:
     def sink_names(self) -> List[str]:
         """Names of the declared Sink stages, in declaration order."""
         return [n.name for n in self._nodes.values() if n.kind == "sink"]
+
+    def capture_sink_names(self) -> List[str]:
+        """Names of the Sinks provenance capture should splice onto.
+
+        Sinks marked ``capture_provenance=True`` win: when any sink opts in
+        explicitly, only those are captured.  Otherwise every sink is
+        captured except the ones that opted out with
+        ``capture_provenance=False`` (the historical all-sinks default).
+        """
+        sinks = [n for n in self._nodes.values() if n.kind == "sink"]
+        marked = [n.name for n in sinks if n.capture_provenance]
+        if marked:
+            return marked
+        return [n.name for n in sinks if n.capture_provenance is not False]
 
     def source_names(self) -> List[str]:
         """Names of the declared Source stages, in declaration order."""
@@ -716,14 +733,24 @@ class StreamBuilder:
         name: Optional[str] = None,
         callback: Optional[Callable[[StreamTuple], None]] = None,
         keep_tuples: bool = True,
+        capture_provenance: Optional[bool] = None,
     ) -> "StreamBuilder":
-        """Terminate the stream in a Sink collecting (or forwarding) results."""
+        """Terminate the stream in a Sink collecting (or forwarding) results.
+
+        ``capture_provenance`` opts this sink in (``True``) or out
+        (``False``) of provenance capture: when any sink of the dataflow
+        opts in explicitly, only the opted-in sinks get an SU spliced in
+        front of them (and feed an attached provenance store); the default
+        ``None`` keeps capture at every sink.
+        """
         stage = name or self.dataflow._fresh_name("sink")
-        return self._then(
+        builder = self._then(
             "sink",
             stage,
             lambda: SinkOperator(stage, callback=callback, keep_tuples=keep_tuples),
         )
+        self.dataflow._nodes[stage].capture_provenance = capture_provenance
+        return builder
 
     def send(self, channel: Channel, name: Optional[str] = None) -> "StreamBuilder":
         """Terminate the stream in a Send writing to ``channel`` (explicit wiring)."""

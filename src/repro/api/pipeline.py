@@ -38,8 +38,16 @@ from repro.core.provenance import (
     create_manager,
 )
 from repro.core.unfolder import attach_su
+from repro.provstore.backends import JsonlLedgerBackend
+from repro.provstore.ledger import ProvenanceLedger
+from repro.provstore.tap import LedgerTap
 from repro.spe.channels import Channel
 from repro.spe.instance import SPEInstance
+from repro.spe.metrics import (
+    ChannelCounters,
+    MetricsSnapshot,
+    snapshot_operators,
+)
 from repro.spe.operators.base import Operator
 from repro.spe.operators.sink import SinkOperator
 from repro.spe.operators.source import SourceOperator
@@ -202,6 +210,8 @@ class PipelineResult:
     #: operator wake-ups executed (intra: equals ``rounds`` under event
     #: execution; inter: summed over all instance schedulers).
     wakeups: int = 0
+    #: live provenance store attached via ``Pipeline(provenance_store=...)``.
+    store: Optional[ProvenanceLedger] = None
 
     # -- convenience -------------------------------------------------------------
     @property
@@ -246,6 +256,31 @@ class PipelineResult:
         """Tuples that crossed any inter-instance channel."""
         return sum(channel.tuples_sent for channel in self.channels)
 
+    def metrics(self) -> MetricsSnapshot:
+        """A consolidated snapshot of the run's execution counters.
+
+        Per-operator ``work_calls`` / ``tuples_in`` / ``tuples_out`` (keyed
+        ``instance/operator`` on distributed deployments) and per-channel
+        ``tuples_sent`` / ``bytes_sent``, so callers never reach into the
+        runtime internals.  Callable at any point; counters are cumulative.
+        """
+        operators = {}
+        if self.query is not None:
+            operators.update(snapshot_operators(self.query.operators))
+        for instance in self.instances:
+            operators.update(
+                snapshot_operators(instance.operators, instance=instance.name)
+            )
+        channels = {
+            channel.name: ChannelCounters(
+                name=channel.name,
+                tuples_sent=channel.tuples_sent,
+                bytes_sent=channel.bytes_sent,
+            )
+            for channel in self.channels
+        }
+        return MetricsSnapshot(operators=operators, channels=channels)
+
 
 class Pipeline:
     """Build and run a dataflow under one provenance technique and placement.
@@ -271,6 +306,7 @@ class Pipeline:
         retention: Optional[float] = None,
         keep_unfolded_tuples: bool = False,
         execution: str = "event",
+        provenance_store: Union[ProvenanceLedger, str, None] = None,
     ) -> None:
         if execution not in ("event", "polling"):
             raise DataflowError(
@@ -283,7 +319,42 @@ class Pipeline:
         self.retention = retention
         self.keep_unfolded_tuples = keep_unfolded_tuples
         self.execution = execution
+        self.store = self._resolve_store(provenance_store)
         self._result: Optional[PipelineResult] = None
+
+    def _resolve_store(
+        self, provenance_store: Union[ProvenanceLedger, str, None]
+    ) -> Optional[ProvenanceLedger]:
+        """Accept a ledger instance or a path (-> JSONL-backed ledger)."""
+        if provenance_store is None:
+            return None
+        if self.mode is ProvenanceMode.NONE:
+            raise DataflowError(
+                "a provenance store needs provenance capture: pass "
+                "provenance='genealog' or 'baseline' together with "
+                "provenance_store=..."
+            )
+        if isinstance(provenance_store, ProvenanceLedger):
+            store = provenance_store
+        else:
+            store = ProvenanceLedger(
+                backend=JsonlLedgerBackend(provenance_store),
+                name=str(provenance_store),
+            )
+        if store.read_only:
+            raise DataflowError(
+                f"provenance store {store.name!r} is open read-only and "
+                "cannot ingest a run; open a writable ledger instead"
+            )
+        if store.retention is None:
+            # The seal bound: the MU retention math (sum of window sizes),
+            # or the pipeline's explicit override.
+            store.retention = (
+                self.retention
+                if self.retention is not None
+                else self.dataflow.retention_s()
+            )
+        return store
 
     # -- building ----------------------------------------------------------------
     def build(self) -> PipelineResult:
@@ -305,7 +376,19 @@ class Pipeline:
             self.mode,
             fused=self.fused,
             keep_unfolded_tuples=self.keep_unfolded_tuples,
+            only_sinks=self.dataflow.capture_sink_names(),
         )
+        if self.store is not None:
+            if not capture.provenance_sinks:
+                raise DataflowError(
+                    "a provenance store needs at least one captured sink; "
+                    "every sink of dataflow "
+                    f"{self.dataflow.name!r} opted out of provenance capture"
+                )
+            # One logical ledger fed by one tap per provenance Sink; the
+            # ledger seals on the minimum watermark across its taps.
+            for provenance_sink in capture.provenance_sinks.values():
+                provenance_sink.add_tap(LedgerTap(self.store))
         query.validate()
         return PipelineResult(
             mode=self.mode,
@@ -316,6 +399,7 @@ class Pipeline:
             sinks=sinks,
             capture=capture,
             managers={"local": capture.manager},
+            store=self.store,
         )
 
     def _build_inter(self) -> PipelineResult:
@@ -326,6 +410,7 @@ class Pipeline:
             fused=self.fused,
             retention=self.retention,
             keep_unfolded_tuples=self.keep_unfolded_tuples,
+            store=self.store,
         )
         return builder.build()
 
@@ -389,6 +474,7 @@ class _DistributedBuilder:
         fused: bool,
         retention: Optional[float],
         keep_unfolded_tuples: bool = False,
+        store: Optional[ProvenanceLedger] = None,
     ) -> None:
         self.dataflow = dataflow
         self.placement = placement
@@ -398,6 +484,7 @@ class _DistributedBuilder:
             retention if retention is not None else dataflow.retention_s()
         )
         self.keep_unfolded_tuples = keep_unfolded_tuples
+        self.store = store
         self.instances: Dict[str, SPEInstance] = {}
         self.managers: Dict[str, ProvenanceManager] = {}
         self.channels: List[Channel] = []
@@ -521,6 +608,8 @@ class _DistributedBuilder:
         sources = [self.operators[name] for name in self.dataflow.source_names()]
         sinks = [self.operators[name] for name in self.dataflow.sink_names()]
 
+        if self.mode is not ProvenanceMode.NONE:
+            self._require_sink_captures(sinks)
         if self.mode is ProvenanceMode.GENEALOG:
             self._splice_genealog(sinks)
         elif self.mode is ProvenanceMode.BASELINE:
@@ -543,7 +632,20 @@ class _DistributedBuilder:
             collector=self.collector,
             managers=self.managers,
             channels=self.channels,
+            store=self.store,
         )
+
+    def _require_sink_captures(self, sinks: List[SinkOperator]) -> None:
+        """Distributed capture covers the single data Sink; honour the knob."""
+        captured = set(self.dataflow.capture_sink_names())
+        opted_out = [sink.name for sink in sinks if sink.name not in captured]
+        if opted_out:
+            raise DataflowError(
+                f"distributed provenance capture requires the data Sink to "
+                f"capture provenance, but sink(s) {opted_out!r} opted out "
+                "(capture_provenance=False, or another sink opted in "
+                "exclusively); run with provenance='none' instead"
+            )
 
     # -- GeneaLog splicing (section 6) --------------------------------------------
     def _require_ordered(self, stream, producer: Operator) -> None:
@@ -671,6 +773,11 @@ class _DistributedBuilder:
             callback=self.collector.add,
             keep_tuples=self.keep_unfolded_tuples,
         )
+        if self.store is not None:
+            # The unfolded stream reaching this sink already crossed the
+            # process boundaries serialised; the ledger ingests the payloads
+            # reconstructed on this (the receiving) instance.
+            provenance_sink.add_tap(LedgerTap(self.store))
         if self.mode is ProvenanceMode.GENEALOG:
             ports = attach_mu(
                 instance,

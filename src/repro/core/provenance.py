@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.baseline import AriadneBaselineProvenance
 from repro.core.instrumentation import GeneaLogProvenance
@@ -181,6 +181,7 @@ def attach_intra_process_provenance(
     mode: ProvenanceMode,
     fused: bool = True,
     keep_unfolded_tuples: bool = False,
+    only_sinks: Optional[Sequence[str]] = None,
 ) -> ProvenanceCapture:
     """Enable provenance capture on a single-process query (section 5).
 
@@ -188,6 +189,8 @@ def attach_intra_process_provenance(
     through an SU operator whose ``SO`` output keeps feeding ``K`` and whose
     unfolded output ``U`` feeds a new provenance Sink (Theorem 5.3).  The
     provenance manager implementing ``mode`` is installed on every operator.
+    ``only_sinks`` restricts the splicing to the named Sinks (the dataflow
+    DSL's per-sink ``capture_provenance`` knob lowers to this).
 
     With ``mode=ProvenanceMode.NONE`` only the manager is installed (a no-op)
     and the query is left untouched.
@@ -197,8 +200,11 @@ def attach_intra_process_provenance(
     capture = ProvenanceCapture(mode=mode, manager=manager)
     if mode is ProvenanceMode.NONE:
         return capture
+    captured = None if only_sinks is None else set(only_sinks)
     for sink in query.sinks():
         if not sink.inputs:
+            continue
+        if captured is not None and sink.name not in captured:
             continue
         feeding_stream = sink.inputs[0]
         producer = query.producer_of(feeding_stream)

@@ -1,0 +1,44 @@
+"""Live provenance subsystem: a streaming, queryable provenance store.
+
+The paper captures fine-grained backward provenance and traverses it on
+demand, in memory, at the sink.  This package materialises the captured
+graph continuously instead: a :class:`ProvenanceLedger` ingests unfolded
+provenance as it is produced, deduplicates shared source tuples, answers
+backward (:meth:`~ProvenanceLedger.sources_of`) and forward
+(:meth:`~ProvenanceLedger.derived_from`) queries, delivers each sink
+mapping to subscribers exactly once, and optionally persists everything to
+append-only JSONL segments that re-open read-only
+(:func:`open_provenance_store`).
+
+Attach a store to a run with ``Pipeline(..., provenance_store=ledger)``
+(see :mod:`repro.api.pipeline`) or hook a
+:class:`~repro.provstore.tap.LedgerTap` onto any provenance Sink manually.
+"""
+
+from repro.provstore.backends import (
+    JsonlLedgerBackend,
+    LedgerBackend,
+    LedgerError,
+    MemoryLedgerBackend,
+)
+from repro.provstore.entries import SinkMapping, SourceEntry
+from repro.provstore.ledger import (
+    ProvenanceLedger,
+    Subscription,
+    open_provenance_store,
+)
+from repro.provstore.tap import LedgerTap, ProvenanceTap
+
+__all__ = [
+    "JsonlLedgerBackend",
+    "LedgerBackend",
+    "LedgerError",
+    "LedgerTap",
+    "MemoryLedgerBackend",
+    "ProvenanceLedger",
+    "ProvenanceTap",
+    "SinkMapping",
+    "SourceEntry",
+    "Subscription",
+    "open_provenance_store",
+]

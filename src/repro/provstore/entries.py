@@ -1,0 +1,109 @@
+"""The two record types of the provenance ledger and their addressing.
+
+The streaming provenance capture of the paper delivers *unfolded* tuples:
+one tuple per ``(sink tuple, originating source tuple)`` pair, carrying the
+sink tuple's attributes (prefixed ``sink_``), the originating tuple's
+attributes, and the identity fields ``sink_id`` / ``id_o`` / ``ts_o`` /
+``type_o`` (Definition 6.2).  The ledger normalises that stream into
+
+* :class:`SourceEntry` -- one entry per distinct originating tuple,
+  content-addressed by its unique id (``<stream/instance>:<counter>``, so
+  the producing stream is part of the address, footnote 2 of section 6).
+  A source tuple contributing to many sink tuples is stored **once**.
+* :class:`SinkMapping` -- one entry per sink tuple: its timestamp,
+  attributes and the ordered keys of its contributing source entries.
+
+Tuples without an assigned id (hand-built unfolded streams in tests, or
+techniques that do not assign ids) fall back to a content address derived
+from the timestamp and attributes, keeping ingestion total.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: address prefix used when no unique id is available.
+CONTENT_PREFIX = "content:"
+
+
+def content_key(ts: float, values: Dict[str, Any]) -> str:
+    """A deterministic content address for an id-less tuple."""
+    return CONTENT_PREFIX + json.dumps(
+        [ts, sorted(values.items())], separators=(",", ":"), default=str
+    )
+
+
+def address(tuple_id: Optional[Any], ts: float, values: Dict[str, Any]) -> str:
+    """The ledger key of a tuple: its unique id, or a content address."""
+    if tuple_id is not None:
+        return str(tuple_id)
+    return content_key(ts, values)
+
+
+@dataclass(frozen=True)
+class SourceEntry:
+    """One originating (source or remote) tuple retained by the ledger."""
+
+    #: ledger key: the tuple's unique ``<stream>:<counter>`` id (or a
+    #: content address when no id was assigned).
+    key: str
+    #: event timestamp of the originating tuple (``ts_o``).
+    ts: float
+    #: ``SOURCE`` or ``REMOTE`` (``type_o``); remote entries appear when a
+    #: store ingests a partially-unfolded stream.
+    kind: str
+    #: the originating tuple's payload attributes.
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def to_document(self) -> Dict[str, Any]:
+        """JSON-ready representation (the JSONL persistence record body)."""
+        return {"key": self.key, "ts": self.ts, "type": self.kind, "values": self.values}
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "SourceEntry":
+        return cls(
+            key=document["key"],
+            ts=document["ts"],
+            kind=document.get("type", "SOURCE"),
+            values=document.get("values", {}),
+        )
+
+
+@dataclass
+class SinkMapping:
+    """The backward provenance of one sink tuple: its contributing sources."""
+
+    #: ledger key of the sink tuple (unique id or content address).
+    sink_key: str
+    #: event timestamp of the sink tuple.
+    sink_ts: float
+    #: the sink tuple's payload attributes.
+    sink_values: Dict[str, Any] = field(default_factory=dict)
+    #: keys of the contributing :class:`SourceEntry` objects, in the order
+    #: their unfolded tuples were first ingested (duplicates removed).
+    source_keys: Tuple[str, ...] = ()
+
+    @property
+    def source_count(self) -> int:
+        """Number of distinct source entries contributing to the sink tuple."""
+        return len(self.source_keys)
+
+    def to_document(self) -> Dict[str, Any]:
+        """JSON-ready representation (the JSONL persistence record body)."""
+        return {
+            "sink": self.sink_key,
+            "ts": self.sink_ts,
+            "values": self.sink_values,
+            "sources": list(self.source_keys),
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "SinkMapping":
+        return cls(
+            sink_key=document["sink"],
+            sink_ts=document["ts"],
+            sink_values=document.get("values", {}),
+            source_keys=tuple(document.get("sources", ())),
+        )

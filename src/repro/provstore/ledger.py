@@ -1,0 +1,475 @@
+"""The streaming provenance ledger: ingest, seal, query, subscribe.
+
+The paper's capture pipeline stops at a provenance Sink: unfolded tuples
+(one per sink-tuple/source-tuple pair, Definition 6.2) are grouped in memory
+and inspected after the run.  :class:`ProvenanceLedger` turns that terminal
+buffer into a live subsystem:
+
+* **Ingest** -- unfolded tuples stream in (through
+  :class:`~repro.provstore.tap.LedgerTap` objects attached to provenance
+  Sinks, or direct :meth:`ProvenanceLedger.ingest` calls).  Each originating
+  tuple is content-addressed by its unique ``<stream>:<counter>`` id and
+  stored **once**, however many sink tuples it contributes to; repeated
+  ``(sink, source)`` pairs (e.g. the same unfolding record shipped over two
+  process boundaries) are dropped on arrival.
+* **Sealing** -- a sink tuple's mapping stays *pending* until the ingest
+  watermark guarantees no further unfolded tuple for it can arrive.  The
+  bound is the MU operator's retention math (section 6): every unfolded
+  tuple for sink timestamp ``t`` carries ``ts <= t + retention``, so the
+  mapping seals once the watermark passes ``t + retention`` (the final
+  watermark seals everything).  Sealing hands the mapping to the
+  persistence backend and delivers it to every subscription **exactly
+  once** -- pending state is therefore retained only up to the
+  watermark-driven expiry bound.
+* **Queries** -- :meth:`sources_of` answers backward provenance (sink tuple
+  -> contributing source entries) and :meth:`derived_from` forward
+  provenance (source tuple -> sink mappings it fed), over sealed and
+  still-pending state alike.
+* **Persistence** -- the backend is pluggable
+  (:class:`~repro.provstore.backends.MemoryLedgerBackend` by default,
+  append-only JSONL segments via
+  :class:`~repro.provstore.backends.JsonlLedgerBackend`); a JSONL store
+  directory re-opened with :func:`open_provenance_store` answers the same
+  forward/backward queries read-only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Set, Union
+
+from repro.core.types import TupleType
+from repro.core.unfolder import (
+    ORIGIN_ID_FIELD,
+    ORIGIN_TS_FIELD,
+    ORIGIN_TYPE_FIELD,
+    SINK_ID_FIELD,
+    SINK_PREFIX,
+    SINK_TS_FIELD,
+)
+from repro.provstore.backends import (
+    JsonlLedgerBackend,
+    LedgerBackend,
+    LedgerError,
+    MemoryLedgerBackend,
+)
+from repro.provstore.entries import SinkMapping, SourceEntry, address
+from repro.spe.tuples import StreamTuple
+
+#: sentinel watermark meaning "nothing ingested yet".
+_NO_WATERMARK = float("-inf")
+
+
+class Subscription:
+    """One consumer of the sealed-mapping stream.
+
+    Every mapping the ledger seals after (or, with ``replay=True``, before)
+    the subscription was created is delivered to it exactly once: either by
+    invoking ``callback`` at seal time, or -- without a callback -- by
+    buffering the mapping until :meth:`drain` is called.
+    """
+
+    def __init__(
+        self,
+        ledger: "ProvenanceLedger",
+        callback: Optional[Callable[[SinkMapping], None]] = None,
+    ) -> None:
+        self._ledger = ledger
+        self._callback = callback
+        self._queue: deque = deque()
+        #: number of mappings delivered to this subscription so far.
+        self.delivered = 0
+        self._cancelled = False
+
+    def _deliver(self, mapping: SinkMapping) -> None:
+        self.delivered += 1
+        if self._callback is not None:
+            self._callback(mapping)
+        else:
+            self._queue.append(mapping)
+
+    def drain(self) -> List[SinkMapping]:
+        """Return (and forget) every buffered mapping, in seal order."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
+    def cancel(self) -> None:
+        """Stop receiving mappings; buffered ones remain drainable."""
+        if not self._cancelled:
+            self._cancelled = True
+            if self in self._ledger._subscriptions:
+                self._ledger._subscriptions.remove(self)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class _PendingMapping:
+    """A sink tuple's mapping while unfolded tuples may still arrive."""
+
+    __slots__ = ("sink_ts", "sink_values", "keys", "seen")
+
+    def __init__(self, sink_ts: float, sink_values: Dict[str, Any]) -> None:
+        self.sink_ts = sink_ts
+        self.sink_values = sink_values
+        self.keys: List[str] = []
+        self.seen: Set[str] = set()
+
+    def snapshot(self, sink_key: str) -> SinkMapping:
+        return SinkMapping(
+            sink_key=sink_key,
+            sink_ts=self.sink_ts,
+            sink_values=dict(self.sink_values),
+            source_keys=tuple(self.keys),
+        )
+
+
+class ProvenanceLedger:
+    """A continuously materialised, queryable store of backward provenance.
+
+    ``retention`` is the seal bound in event-time seconds (the sum of the
+    deployment's window sizes, exactly the MU operator's retention); the
+    :class:`~repro.api.pipeline.Pipeline` fills it in from the dataflow when
+    the ledger is attached with ``retention=None``.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[LedgerBackend] = None,
+        retention: Optional[float] = None,
+        name: str = "provenance_store",
+    ) -> None:
+        self.name = name
+        self.backend = backend if backend is not None else MemoryLedgerBackend()
+        self.retention = retention
+        self.read_only = self.backend.read_only
+        #: sealed mappings, in seal order (dict preserves insertion).
+        self._mappings: Dict[str, SinkMapping] = {}
+        #: pending mappings, still accepting unfolded tuples.
+        self._pending: Dict[str, _PendingMapping] = {}
+        #: every distinct source entry, stored once (content-addressed).
+        self._sources: Dict[str, SourceEntry] = {}
+        #: source keys already handed to the backend.
+        self._persisted_sources: Set[str] = set()
+        #: forward index over *sealed* mappings: source key -> sink keys.
+        self._forward: Dict[str, List[str]] = {}
+        self._subscriptions: List[Subscription] = []
+        #: ingest watermark per registered tap (min across taps seals).
+        self._tap_watermarks: Dict[int, float] = {}
+        self._next_tap_id = 0
+        self._manual_watermark = _NO_WATERMARK
+        # -- accounting ----------------------------------------------------
+        #: unfolded tuples ingested (including duplicates and late arrivals).
+        self.ingested_tuples = 0
+        #: repeated (sink, source) pairs dropped on arrival.
+        self.duplicate_tuples = 0
+        #: tuples for an already-sealed sink mapping (retention too small).
+        self.late_tuples = 0
+        #: total (deduplicated) source references across all mappings.
+        self.source_references = 0
+        if self.read_only:
+            self._load()
+
+    # -- construction helpers ------------------------------------------------
+    def _load(self) -> None:
+        sources, mappings = self.backend.load()
+        for entry in sources:
+            self._sources[entry.key] = entry
+            self._persisted_sources.add(entry.key)
+        for mapping in mappings:
+            self._mappings[mapping.sink_key] = mapping
+            self.source_references += len(mapping.source_keys)
+            for key in mapping.source_keys:
+                self._forward.setdefault(key, []).append(mapping.sink_key)
+
+    def _require_writable(self) -> None:
+        if self.read_only:
+            raise LedgerError(
+                f"provenance store {self.name!r} is open read-only "
+                f"({self.backend.describe()})"
+            )
+
+    # -- tap registration -----------------------------------------------------
+    def register_tap(self) -> int:
+        """Reserve a tap slot; returns the id used for watermark advances."""
+        self._require_writable()
+        tap_id = self._next_tap_id
+        self._next_tap_id += 1
+        self._tap_watermarks[tap_id] = _NO_WATERMARK
+        return tap_id
+
+    @property
+    def watermark(self) -> float:
+        """The ingest watermark sealing is based on (min across taps)."""
+        if self._tap_watermarks:
+            return min(self._tap_watermarks.values())
+        return self._manual_watermark
+
+    # -- ingest ----------------------------------------------------------------
+    def ingest(self, unfolded: StreamTuple) -> None:
+        """Consume one unfolded tuple (one sink-tuple / source-tuple pair)."""
+        self._require_writable()
+        self.ingested_tuples += 1
+        values = unfolded.values
+        sink_values: Dict[str, Any] = {}
+        origin_values: Dict[str, Any] = {}
+        for key, value in values.items():
+            if key in (SINK_TS_FIELD, SINK_ID_FIELD):
+                continue
+            if key.startswith(SINK_PREFIX):
+                sink_values[key[len(SINK_PREFIX):]] = value
+            else:
+                origin_values[key] = value
+        sink_ts = values.get(SINK_TS_FIELD, unfolded.ts)
+        sink_key = address(values.get(SINK_ID_FIELD), sink_ts, sink_values)
+        if sink_key in self._mappings:
+            # The mapping sealed already: the retention bound was too small
+            # for this deployment.  Count it loudly instead of corrupting the
+            # exactly-once delivery of the sealed mapping.
+            self.late_tuples += 1
+            return
+        origin_ts = origin_values.pop(ORIGIN_TS_FIELD, unfolded.ts)
+        origin_kind = origin_values.pop(ORIGIN_TYPE_FIELD, TupleType.SOURCE.value)
+        origin_id = origin_values.pop(ORIGIN_ID_FIELD, None)
+        source_key = address(origin_id, origin_ts, origin_values)
+        pending = self._pending.get(sink_key)
+        if pending is None:
+            pending = _PendingMapping(sink_ts, sink_values)
+            self._pending[sink_key] = pending
+        if source_key in pending.seen:
+            self.duplicate_tuples += 1
+            return
+        pending.seen.add(source_key)
+        pending.keys.append(source_key)
+        self.source_references += 1
+        if source_key not in self._sources:
+            self._sources[source_key] = SourceEntry(
+                key=source_key, ts=origin_ts, kind=origin_kind, values=origin_values
+            )
+
+    # -- sealing ----------------------------------------------------------------
+    def advance_watermark(self, watermark: float, tap: Optional[int] = None) -> None:
+        """Raise one tap's (or the manual) ingest watermark; seal what settled."""
+        self._require_writable()
+        if tap is None:
+            if self._tap_watermarks:
+                # Sealing is driven by the min across tap watermarks; a
+                # manual advance would be silently out-voted, so refuse it
+                # instead of accepting a no-op.
+                raise LedgerError(
+                    f"ledger {self.name!r} has {len(self._tap_watermarks)} "
+                    "registered tap(s); its watermark advances through them "
+                    "(use flush() to force-seal pending mappings)"
+                )
+            if watermark > self._manual_watermark:
+                self._manual_watermark = watermark
+        else:
+            if watermark > self._tap_watermarks[tap]:
+                self._tap_watermarks[tap] = watermark
+        self._seal_ready()
+
+    def close_tap(self, tap: int) -> None:
+        """A tap's stream ended; its watermark becomes final."""
+        self.advance_watermark(float("inf"), tap=tap)
+
+    def _seal_ready(self) -> None:
+        watermark = self.watermark
+        if watermark == _NO_WATERMARK or not self._pending:
+            return
+        retention = self.retention if self.retention is not None else 0.0
+        if watermark == float("inf"):
+            ready = list(self._pending)
+        else:
+            ready = [
+                key
+                for key, pending in self._pending.items()
+                if pending.sink_ts + retention < watermark
+            ]
+        for sink_key in ready:
+            self._seal(sink_key)
+        if ready:
+            self.backend.flush()
+
+    def _seal(self, sink_key: str) -> None:
+        # Persist first, mutate ledger state after: if a backend append
+        # raises, the mapping stays pending (a later flush retries) instead
+        # of being lost from both the pending area and the sealed index.
+        mapping = self._pending[sink_key].snapshot(sink_key)
+        for key in mapping.source_keys:
+            if key not in self._persisted_sources:
+                self.backend.append_source(self._sources[key])
+                self._persisted_sources.add(key)
+        self.backend.append_mapping(mapping)
+        del self._pending[sink_key]
+        for key in mapping.source_keys:
+            self._forward.setdefault(key, []).append(sink_key)
+        self._mappings[sink_key] = mapping
+        # Snapshot the subscription list: a callback may cancel (or add)
+        # subscriptions mid-delivery, and mutating the live list would skip
+        # other subscribers' exactly-once delivery.  One failing callback
+        # must not starve the remaining subscribers either -- every delivery
+        # is attempted, then the first failure is re-raised.
+        first_error: Optional[BaseException] = None
+        for subscription in list(self._subscriptions):
+            if subscription._cancelled:
+                continue
+            try:
+                subscription._deliver(mapping)
+            except Exception as exc:  # noqa: BLE001 - isolate subscribers
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def flush(self) -> None:
+        """Seal every pending mapping now (as if the final watermark passed)."""
+        self._require_writable()
+        for sink_key in list(self._pending):
+            self._seal(sink_key)
+        self.backend.flush()
+
+    def close(self) -> None:
+        """Seal what is pending and release the backend."""
+        if not self.read_only:
+            self.flush()
+        self.backend.close()
+
+    # -- subscriptions ------------------------------------------------------------
+    def subscribe(
+        self,
+        callback: Optional[Callable[[SinkMapping], None]] = None,
+        replay: bool = False,
+    ) -> Subscription:
+        """Receive every sealed mapping exactly once.
+
+        With ``replay=True`` the mappings sealed before the subscription
+        existed are delivered first (in seal order), so a late subscriber
+        still sees each mapping exactly once overall.
+        """
+        subscription = Subscription(self, callback)
+        if replay:
+            for mapping in self._mappings.values():
+                subscription._deliver(mapping)
+        if not self.read_only:
+            self._subscriptions.append(subscription)
+        return subscription
+
+    # -- key resolution -------------------------------------------------------------
+    @staticmethod
+    def _tuple_key(tup: StreamTuple) -> str:
+        """The ledger key of a data tuple (sink tuple or source tuple)."""
+        meta = tup.meta
+        # GeneaLog assigns ids to the *logical* tuple: follow multiplex
+        # copies down to it, exactly like GeneaLogProvenance.tuple_id.
+        while (
+            meta is not None
+            and getattr(meta, "type", None) is TupleType.MULTIPLEX
+            and getattr(meta, "u1", None) is not None
+        ):
+            tup = meta.u1
+            meta = tup.meta
+        return address(getattr(meta, "tuple_id", None), tup.ts, tup.values)
+
+    def _resolve_key(self, subject: Union[str, StreamTuple, SinkMapping, SourceEntry]) -> str:
+        if isinstance(subject, str):
+            return subject
+        if isinstance(subject, StreamTuple):
+            return self._tuple_key(subject)
+        if isinstance(subject, SinkMapping):
+            return subject.sink_key
+        if isinstance(subject, SourceEntry):
+            return subject.key
+        raise LedgerError(
+            f"cannot resolve a ledger key from {type(subject).__name__}; pass "
+            "a key string, a StreamTuple, a SinkMapping or a SourceEntry"
+        )
+
+    # -- queries ------------------------------------------------------------------
+    def mapping_for(self, sink: Union[str, StreamTuple, SinkMapping]) -> Optional[SinkMapping]:
+        """The (sealed or still-pending) mapping of one sink tuple."""
+        sink_key = self._resolve_key(sink)
+        mapping = self._mappings.get(sink_key)
+        if mapping is not None:
+            return mapping
+        pending = self._pending.get(sink_key)
+        if pending is not None:
+            return pending.snapshot(sink_key)
+        return None
+
+    def sources_of(self, sink: Union[str, StreamTuple, SinkMapping]) -> List[SourceEntry]:
+        """Backward query: the source entries contributing to ``sink``."""
+        mapping = self.mapping_for(sink)
+        if mapping is None:
+            return []
+        return [self._sources[key] for key in mapping.source_keys]
+
+    def derived_from(
+        self, source: Union[str, StreamTuple, SourceEntry]
+    ) -> List[SinkMapping]:
+        """Forward query: the sink mappings ``source`` contributed to."""
+        source_key = self._resolve_key(source)
+        results = [
+            self._mappings[sink_key] for sink_key in self._forward.get(source_key, ())
+        ]
+        for sink_key, pending in self._pending.items():
+            if source_key in pending.seen:
+                results.append(pending.snapshot(sink_key))
+        return results
+
+    def mappings(self) -> List[SinkMapping]:
+        """Every sealed mapping, in seal order."""
+        return list(self._mappings.values())
+
+    def source_entries(self) -> List[SourceEntry]:
+        """Every distinct source entry ingested so far."""
+        return list(self._sources.values())
+
+    def source(self, key: str) -> Optional[SourceEntry]:
+        """The source entry stored under ``key`` (None when unknown)."""
+        return self._sources.get(key)
+
+    # -- accounting ----------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Sink mappings still inside the watermark-driven retention bound."""
+        return len(self._pending)
+
+    @property
+    def sealed_count(self) -> int:
+        """Sink mappings sealed (persisted + delivered) so far."""
+        return len(self._mappings)
+
+    @property
+    def source_count(self) -> int:
+        """Distinct source entries stored (each shared entry counted once)."""
+        return len(self._sources)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Source references per stored source entry (1.0 = nothing shared)."""
+        if not self._sources:
+            return 1.0
+        return self.source_references / len(self._sources)
+
+    def __len__(self) -> int:
+        return len(self._mappings) + len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProvenanceLedger(name={self.name!r}, sealed={self.sealed_count}, "
+            f"pending={self.pending_count}, sources={self.source_count}, "
+            f"backend={self.backend.describe()})"
+        )
+
+
+def open_provenance_store(path, **backend_options) -> ProvenanceLedger:
+    """Re-open a JSONL provenance store directory read-only.
+
+    The returned ledger answers the same :meth:`ProvenanceLedger.sources_of`
+    / :meth:`ProvenanceLedger.derived_from` queries as the live ledger that
+    wrote the store; ingestion and subscriptions-at-seal are disabled
+    (``subscribe(replay=True)`` still replays the sealed stream).
+    """
+    backend = JsonlLedgerBackend(path, read_only=True, **backend_options)
+    return ProvenanceLedger(backend=backend, name=str(path))

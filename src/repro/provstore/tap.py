@@ -1,0 +1,53 @@
+"""Taps: how a running query feeds the provenance ledger.
+
+A :class:`ProvenanceTap` is the observer interface a
+:class:`~repro.spe.operators.sink.SinkOperator` notifies about its stream:
+every received tuple, every input-watermark advance, and the close of its
+input.  The capture pipeline attaches taps to *provenance* Sinks (the sinks
+fed by the SU/MU unfolders or the baseline resolver), so the tap sees the
+unfolded provenance stream -- including, on distributed deployments, the
+serialized provenance payloads that crossed process boundaries and were
+re-ingested on the provenance instance.
+
+:class:`LedgerTap` is the concrete tap that forwards that stream into a
+:class:`~repro.provstore.ledger.ProvenanceLedger`.  Several taps can feed
+one logical ledger (one per provenance Sink -- e.g. multiple data sinks, or
+sharded sinks under keyed parallelism); the ledger seals on the *minimum*
+watermark across its taps, so no mapping seals while any tap can still
+deliver unfolded tuples for it.
+"""
+
+from __future__ import annotations
+
+from repro.provstore.ledger import ProvenanceLedger
+from repro.spe.tuples import StreamTuple
+
+
+class ProvenanceTap:
+    """Observer of a Sink's stream; every hook is a no-op by default."""
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        """The Sink received ``tup``."""
+
+    def on_watermark(self, watermark: float) -> None:
+        """The Sink's input watermark advanced to ``watermark``."""
+
+    def on_close(self) -> None:
+        """The Sink's input closed (no further tuple or watermark follows)."""
+
+
+class LedgerTap(ProvenanceTap):
+    """Feed one provenance Sink's unfolded stream into a ledger."""
+
+    def __init__(self, ledger: ProvenanceLedger) -> None:
+        self.ledger = ledger
+        self._tap_id = ledger.register_tap()
+
+    def on_tuple(self, tup: StreamTuple) -> None:
+        self.ledger.ingest(tup)
+
+    def on_watermark(self, watermark: float) -> None:
+        self.ledger.advance_watermark(watermark, tap=self._tap_id)
+
+    def on_close(self) -> None:
+        self.ledger.close_tap(self._tap_id)

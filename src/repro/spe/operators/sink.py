@@ -35,6 +35,13 @@ class SinkOperator(SingleInputOperator):
         self.received: List[StreamTuple] = []
         self.latencies: List[float] = []
         self.count = 0
+        #: attached :class:`~repro.provstore.tap.ProvenanceTap`-shaped
+        #: observers; they see every tuple, watermark advance and the close.
+        self.taps: List = []
+
+    def add_tap(self, tap) -> None:
+        """Attach an observer of this sink's stream (tuples + watermarks)."""
+        self.taps.append(tap)
 
     def process_tuple(self, tup: StreamTuple) -> None:
         self.count += 1
@@ -45,6 +52,16 @@ class SinkOperator(SingleInputOperator):
             self.received.append(tup)
         if self._callback is not None:
             self._callback(tup)
+        for tap in self.taps:
+            tap.on_tuple(tup)
+
+    def on_watermark(self, watermark: float) -> None:
+        for tap in self.taps:
+            tap.on_watermark(watermark)
+
+    def on_close(self) -> None:
+        for tap in self.taps:
+            tap.on_close()
 
     def clear(self) -> None:
         """Drop every collected tuple and latency sample."""

@@ -17,6 +17,30 @@ from repro.spe.errors import SerializationError
 from repro.spe.tuples import StreamTuple
 
 
+def dumps_document(document: Dict[str, Any], default=None) -> str:
+    """Serialise a JSON-safe document into one compact line.
+
+    Shared by the inter-instance channel transport and the provenance
+    ledger's append-only JSONL segments, so both speak the same format and
+    raise the same :class:`SerializationError` on unserialisable payloads.
+    ``default`` is handed to :func:`json.dumps`: the channel transport keeps
+    the strict ``None`` (a tuple that cannot cross a boundary must fail),
+    while the ledger degrades exotic payload values with ``str``.
+    """
+    try:
+        return json.dumps(document, separators=(",", ":"), default=default)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot serialise document: {exc}") from exc
+
+
+def loads_document(data: str) -> Dict[str, Any]:
+    """Parse one serialised document line (inverse of :func:`dumps_document`)."""
+    try:
+        return json.loads(data)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot deserialise document: {exc}") from exc
+
+
 def serialize_tuple(tup: StreamTuple, provenance_payload: Dict[str, Any]) -> str:
     """Serialise ``tup`` (and its provenance payload) into a JSON string."""
     document = {
@@ -32,16 +56,16 @@ def serialize_tuple(tup: StreamTuple, provenance_payload: Dict[str, Any]) -> str
         # everywhere else, keeping non-parallel payloads byte-stable.
         document["ord"] = tup.order_key
     try:
-        return json.dumps(document, separators=(",", ":"))
-    except (TypeError, ValueError) as exc:
+        return dumps_document(document)
+    except SerializationError as exc:
         raise SerializationError(f"cannot serialise tuple {tup!r}: {exc}") from exc
 
 
 def deserialize_tuple(data: str) -> Tuple[StreamTuple, Dict[str, Any]]:
     """Rebuild a tuple (plus its provenance payload) from a JSON string."""
     try:
-        document = json.loads(data)
-    except (TypeError, ValueError) as exc:
+        document = loads_document(data)
+    except SerializationError as exc:
         raise SerializationError(f"cannot deserialise tuple payload: {exc}") from exc
     try:
         tup = StreamTuple(

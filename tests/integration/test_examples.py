@@ -78,3 +78,15 @@ class TestExamples:
         out = run_example(capsys, monkeypatch, "custom_query_provenance.py")
         assert "maintenance alert(s) raised" in out
         assert "traced back to" in out
+
+    def test_live_provenance_queries(self, capsys, monkeypatch):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "live_provenance_queries.py",
+            ["--cars", "12", "--minutes", "20", "--seed", "5"],
+        )
+        assert "[live] alert at segment" in out
+        assert "alert(s) materialised" in out
+        assert "Forward provenance for car" in out
+        assert "queries identical." in out

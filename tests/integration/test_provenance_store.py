@@ -1,0 +1,277 @@
+"""Acceptance tests for the live provenance store.
+
+For Q1-Q4 x {GL, BL} x {intra, inter} x parallelism {1, 2}, one run with an
+attached JSONL-backed :class:`ProvenanceLedger` must satisfy, per cell:
+
+* the ledger's backward provenance of every sink tuple is id-identical to
+  the on-demand traversal result (the provenance records grouped by the
+  existing collector from the very same unfolded stream),
+* every sealed mapping is delivered to a subscriber exactly once,
+* source entries shared by several sink tuples are stored once,
+* the persisted store re-opened read-only answers the same forward and
+  backward queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Pipeline
+from repro.core.provenance import ProvenanceMode
+from repro.core.traversal import find_provenance
+from repro.provstore import (
+    JsonlLedgerBackend,
+    ProvenanceLedger,
+    open_provenance_store,
+)
+from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+from repro.workloads.queries import (
+    query_dataflow,
+    query_parallel_placement,
+    query_placement,
+)
+from repro.workloads.smart_grid import SmartGridConfig, SmartGridGenerator
+
+LINEAR_ROAD = LinearRoadConfig(
+    n_cars=10, duration_s=1200.0, breakdown_probability=0.06, accident_probability=0.7, seed=31
+)
+SMART_GRID = SmartGridConfig(
+    n_meters=10,
+    n_days=3,
+    blackout_day_probability=1.0,
+    blackout_meter_count=8,
+    anomaly_probability=0.25,
+    seed=33,
+)
+
+QUERIES = ("q1", "q2", "q3", "q4")
+MODES = (ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE)
+MODE_IDS = [mode.label for mode in MODES]
+DEPLOYMENTS = ("intra", "inter")
+PARALLELISMS = (1, 2)
+
+
+def workload_for(query_name):
+    if query_name in ("q1", "q2"):
+        return LinearRoadGenerator(LINEAR_ROAD).tuples
+    return SmartGridGenerator(SMART_GRID).tuples
+
+
+def run_with_store(query_name, mode, deployment, parallelism, store):
+    supplier = workload_for(query_name)
+    if deployment == "inter":
+        placement = (
+            query_parallel_placement(query_name, parallelism)
+            if parallelism > 1
+            else query_placement(query_name)
+        )
+    else:
+        placement = None
+    pipeline = Pipeline(
+        query_dataflow(query_name, supplier, parallelism=parallelism),
+        provenance=mode,
+        placement=placement,
+        provenance_store=store,
+    )
+    return pipeline.run()
+
+
+def record_map(records):
+    """Provenance records as sink id -> frozenset of source ids."""
+    return {
+        record.sink_id: frozenset(source["id_o"] for source in record.sources)
+        for record in records
+    }
+
+
+def ledger_map(ledger):
+    """Ledger mappings as sink key -> frozenset of source keys."""
+    return {
+        mapping.sink_key: frozenset(mapping.source_keys)
+        for mapping in ledger.mappings()
+    }
+
+
+class TestLedgerMatchesOnDemandTraversal:
+    @pytest.mark.parametrize("parallelism", PARALLELISMS)
+    @pytest.mark.parametrize("deployment", DEPLOYMENTS)
+    @pytest.mark.parametrize("mode", MODES, ids=MODE_IDS)
+    @pytest.mark.parametrize("query_name", QUERIES)
+    def test_cell(self, tmp_path, query_name, mode, deployment, parallelism):
+        ledger = ProvenanceLedger(backend=JsonlLedgerBackend(tmp_path / "store"))
+        delivered = []
+        ledger.subscribe(callback=delivered.append)
+        result = run_with_store(query_name, mode, deployment, parallelism, ledger)
+        records = result.provenance_records()
+        assert records, "cell produced no provenance to compare"
+
+        # (1) ledger-materialised backward provenance == on-demand traversal,
+        # including the ids themselves (both observe the same unfolded stream).
+        expected = record_map(records)
+        assert ledger_map(ledger) == expected
+
+        # (2) every mapping delivered to the subscriber exactly once.
+        assert sorted(m.sink_key for m in delivered) == sorted(expected)
+        assert ledger.late_tuples == 0
+        assert ledger.pending_count == 0
+
+        # (3) shared source entries stored once.
+        distinct = {key for keys in expected.values() for key in keys}
+        assert ledger.source_count == len(distinct)
+        assert ledger.source_references == sum(len(keys) for keys in expected.values())
+        shared = ledger.source_references - len(distinct)
+        if shared:
+            assert ledger.dedup_ratio > 1.0
+
+        # (4) the persisted store, re-opened read-only, answers the same
+        # forward and backward queries.
+        ledger.close()
+        store = open_provenance_store(tmp_path / "store")
+        assert ledger_map(store) == expected
+        for sink_key, source_keys in expected.items():
+            assert {s.key for s in store.sources_of(sink_key)} == set(source_keys)
+        for source_key in distinct:
+            live = {m.sink_key for m in ledger.derived_from(source_key)}
+            reopened = {m.sink_key for m in store.derived_from(source_key)}
+            assert reopened == live
+            assert reopened == {
+                sink for sink, keys in expected.items() if source_key in keys
+            }
+
+    def test_gl_intra_ledger_matches_direct_graph_traversal(self):
+        # Belt and braces: compare against find_provenance applied directly
+        # to the sink tuples' metadata, not just against the collector.
+        ledger = ProvenanceLedger()
+        result = run_with_store("q1", ProvenanceMode.GENEALOG, "intra", 1, ledger)
+        manager = result.capture.manager
+        assert result.sink.received
+        for tup in result.sink.received:
+            expected = {manager.tuple_id(origin) for origin in find_provenance(tup)}
+            assert {s.key for s in ledger.sources_of(tup)} == expected
+            sink_key = manager.tuple_id(tup)
+            for origin in find_provenance(tup):
+                derived = {m.sink_key for m in ledger.derived_from(manager.tuple_id(origin))}
+                assert sink_key in derived
+
+
+class TestPipelineStoreWiring:
+    def test_store_requires_provenance_capture(self):
+        with pytest.raises(Exception, match="provenance capture"):
+            Pipeline(
+                query_dataflow("q1", workload_for("q1")),
+                provenance="none",
+                provenance_store=ProvenanceLedger(),
+            )
+
+    def test_store_path_creates_jsonl_ledger(self, tmp_path):
+        pipeline = Pipeline(
+            query_dataflow("q1", workload_for("q1")),
+            provenance="genealog",
+            provenance_store=str(tmp_path / "store"),
+        )
+        result = pipeline.run()
+        assert result.store is pipeline.store
+        assert result.store.sealed_count == len(result.provenance_records())
+        result.store.close()
+        reopened = open_provenance_store(tmp_path / "store")
+        assert reopened.sealed_count == result.store.sealed_count
+
+    def test_read_only_store_rejected(self, tmp_path):
+        ledger = ProvenanceLedger(backend=JsonlLedgerBackend(tmp_path / "store"))
+        run_with_store("q1", ProvenanceMode.GENEALOG, "intra", 1, ledger)
+        ledger.close()
+        with pytest.raises(Exception, match="read-only"):
+            Pipeline(
+                query_dataflow("q1", workload_for("q1")),
+                provenance="genealog",
+                provenance_store=open_provenance_store(tmp_path / "store"),
+            )
+
+    def test_retention_defaults_to_dataflow_window_sum(self):
+        ledger = ProvenanceLedger()
+        Pipeline(
+            query_dataflow("q2", workload_for("q2")),
+            provenance="genealog",
+            provenance_store=ledger,
+        )
+        assert ledger.retention == 150.0  # q2: 120s + 30s of windows
+
+    def test_capture_provenance_knob_restricts_capture(self):
+        from repro.api import Dataflow
+        from repro.spe.tuples import StreamTuple
+
+        def supplier():
+            return [StreamTuple(ts=float(i), values={"v": i}) for i in range(10)]
+
+        df = Dataflow("knob")
+        split = df.source("src", supplier).split(name="copy")
+        split.filter(lambda t: t["v"] % 2 == 0, name="evens").sink(
+            "wanted", capture_provenance=True
+        )
+        split.filter(lambda t: t["v"] % 2 == 1, name="odds").sink("unwanted")
+        ledger = ProvenanceLedger()
+        result = Pipeline(df, provenance="genealog", provenance_store=ledger).run()
+        # only the opted-in sink was spliced and feeds the store.
+        assert list(result.capture.provenance_sinks) == ["wanted"]
+        assert ledger.sealed_count == result.query["wanted"].count > 0
+        wanted_values = {m.sink_values["v"] for m in ledger.mappings()}
+        assert wanted_values == {0, 2, 4, 6, 8}
+
+    def test_distributed_capture_rejects_opted_out_sink(self):
+        from repro.api import Dataflow, Placement
+        from repro.spe.tuples import StreamTuple
+
+        def supplier():
+            return [StreamTuple(ts=float(i), values={"v": i}) for i in range(10)]
+
+        df = Dataflow("optout")
+        (df.source("src", supplier)
+           .filter(lambda t: True, name="keep")
+           .sink("out", capture_provenance=False))
+        placement = Placement({"a": ("src",), "b": ("keep", "out")})
+        with pytest.raises(Exception, match="opted out"):
+            Pipeline(df, provenance="genealog", placement=placement).build()
+
+
+class TestMetricsSnapshot:
+    def test_intra_snapshot_exposes_work_calls(self):
+        from repro.workloads.queries import query_pipeline
+
+        pipeline = query_pipeline("q1", workload_for("q1"), mode=ProvenanceMode.NONE)
+        result = pipeline.run()
+        snapshot = result.metrics()
+        assert not snapshot.channels
+        assert snapshot.total_work_calls == sum(
+            op.work_calls for op in result.query.operators
+        ) > 0
+        source = snapshot.operators["source"]
+        assert source.kind == "SourceOperator"
+        assert source.instance is None
+        assert source.tuples_out > 0
+        assert snapshot.operators["sink"].tuples_in == result.sink.count
+
+    def test_inter_snapshot_exposes_channel_traffic(self):
+        from repro.workloads.queries import query_pipeline
+
+        pipeline = query_pipeline(
+            "q1", workload_for("q1"), mode=ProvenanceMode.GENEALOG, deployment="inter"
+        )
+        result = pipeline.run()
+        snapshot = result.metrics()
+        assert snapshot.total_bytes_sent == result.bytes_transferred() > 0
+        assert snapshot.total_tuples_sent == result.tuples_transferred() > 0
+        assert any(key.startswith("spe1/") for key in snapshot.operators)
+        assert any(op.instance == "provenance_node" for op in snapshot.operators.values())
+        document = snapshot.to_document()
+        assert set(document) == {"operators", "channels"}
+
+    def test_parallel_snapshot_selects_replicas_by_prefix(self):
+        from repro.workloads.queries import query_pipeline
+
+        pipeline = query_pipeline(
+            "q1", workload_for("q1"), mode=ProvenanceMode.NONE, parallelism=2
+        )
+        result = pipeline.run()
+        replicas = result.metrics().operators_named("stop_aggregate_shard")
+        assert len(replicas) == 2
+        assert all(op.work_calls > 0 for op in replicas.values())

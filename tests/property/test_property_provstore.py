@@ -1,0 +1,104 @@
+"""Property tests: forward and backward ledger queries are mutual inverses.
+
+A random provenance DAG is a mapping from sink ids to non-empty subsets of a
+source-id universe.  Ingesting its unfolded form -- in any interleaving,
+with duplicated pairs sprinkled in -- must yield a ledger on which
+
+    t in sources_of(s)  <=>  s in derived_from(t)
+
+for every sink ``s`` and source ``t``, with every shared source stored once
+and every mapping delivered to a subscriber exactly once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.provstore import ProvenanceLedger
+from tests.unit.test_provstore import unfolded
+
+#: sink id -> set of contributing source indexes, over a small universe.
+provenance_dags = st.dictionaries(
+    keys=st.integers(0, 30),
+    values=st.sets(st.integers(0, 20), min_size=1, max_size=6),
+    min_size=1,
+    max_size=12,
+)
+
+
+def ingest_dag(dag, ledger, duplicate_every=None):
+    """Ingest the DAG's unfolded tuples (one per sink/source pair)."""
+    pairs = [
+        (sink, source) for sink, sources in sorted(dag.items()) for source in sorted(sources)
+    ]
+    for index, (sink, source) in enumerate(pairs):
+        tup = unfolded(
+            f"s:{sink}",
+            float(sink),
+            {"sink_no": sink},
+            f"a:{source}",
+            float(source) / 10.0,
+            {"source_no": source},
+        )
+        ledger.ingest(tup)
+        if duplicate_every and index % duplicate_every == 0:
+            ledger.ingest(tup.copy())
+    return len(pairs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=provenance_dags, shuffle_seed=st.integers(0, 2**16))
+def test_forward_and_backward_queries_are_mutual_inverses(dag, shuffle_seed):
+    import random
+
+    ledger = ProvenanceLedger(retention=0.0)
+    pairs = [
+        (sink, source) for sink, sources in sorted(dag.items()) for source in sorted(sources)
+    ]
+    random.Random(shuffle_seed).shuffle(pairs)
+    for sink, source in pairs:
+        ledger.ingest(
+            unfolded(
+                f"s:{sink}",
+                float(sink),
+                {"sink_no": sink},
+                f"a:{source}",
+                float(source) / 10.0,
+                {"source_no": source},
+            )
+        )
+    ledger.flush()
+    all_sources = {f"a:{source}" for sources in dag.values() for source in sources}
+    # backward -> forward: every source of s names s among its derivations.
+    for mapping in ledger.mappings():
+        assert set(mapping.source_keys) == {
+            f"a:{source}" for source in dag[int(mapping.sink_key.split(":")[1])]
+        }
+        for entry in ledger.sources_of(mapping.sink_key):
+            derived = {m.sink_key for m in ledger.derived_from(entry.key)}
+            assert mapping.sink_key in derived
+    # forward -> backward: every derivation of t names t among its sources.
+    for source_key in all_sources:
+        for mapping in ledger.derived_from(source_key):
+            assert source_key in {s.key for s in ledger.sources_of(mapping.sink_key)}
+    # the universe is covered exactly: no phantom sources or mappings.
+    assert {entry.key for entry in ledger.source_entries()} == all_sources
+    assert ledger.sealed_count == len(dag)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dag=provenance_dags)
+def test_shared_sources_stored_once_and_delivered_exactly_once(dag):
+    ledger = ProvenanceLedger(retention=0.0)
+    delivered = []
+    ledger.subscribe(callback=delivered.append)
+    pair_count = ingest_dag(dag, ledger, duplicate_every=3)
+    ledger.flush()
+    ledger.flush()  # idempotent: nothing re-seals, nothing re-delivers
+    distinct_sources = {source for sources in dag.values() for source in sources}
+    assert ledger.source_count == len(distinct_sources)
+    assert ledger.source_references == pair_count
+    assert sorted(m.sink_key for m in delivered) == sorted(
+        f"s:{sink}" for sink in dag
+    )
