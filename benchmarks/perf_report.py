@@ -24,6 +24,17 @@ q1 GL intra cell with and without an attached in-memory
 :class:`~repro.provstore.ProvenanceLedger`, reporting the ingest overhead
 and the store's dedup ratio (source references per stored source entry).
 
+A **multiprocess-scaling** section compares the GIL-bound
+:class:`~repro.spe.threaded.ThreadedRuntime` against the
+:class:`~repro.spe.multiprocess.MultiprocessRuntime` (one OS process per
+SPE instance, pipe-backed channels) on the q1 NP inter deployment at keyed
+parallelism 1 and 2.  Threads cannot scale past one core -- the threaded
+runtime's parallelism-2 throughput is *below* its parallelism-1 throughput
+-- while the process runtime's shards aggregate on separate cores.  The
+recorded ``cpu_count`` qualifies the numbers: on a single-core machine the
+process runtime cannot show real scaling either (there is nothing to
+schedule the shards onto) and pays the fork/pipe overhead on top.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_report.py                 # small scale
@@ -40,7 +51,9 @@ throughput depends on the machine running the report.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import platform
 import sys
 import time
@@ -245,15 +258,99 @@ def measure_provenance_store(tuples, repeats: int) -> Dict:
     return row
 
 
+def measure_multiprocess_scaling(scale: WorkloadScale, repeats: int) -> Dict:
+    """q1 NP inter at parallelism 1 / 2: threaded (GIL) vs process runtimes.
+
+    Uses a longer workload than the engine cells so the measurement is not
+    dominated by the one-off process fork/join cost.  On platforms without
+    the ``fork`` start method (Windows) the section is skipped with a note
+    instead of aborting the rest of the report.
+    """
+    import multiprocessing
+
+    from repro.spe.threaded import ThreadedRuntime
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        note = "skipped: the process runtime needs the 'fork' start method"
+        print(f"multiprocess scaling {note}")
+        return {"cell": "q1/NP/inter", "skipped": note}
+
+    config = workload_config_for("q1", scale)
+    config = dataclasses.replace(config, duration_s=config.duration_s * 6)
+    tuples = list(LinearRoadGenerator(config).tuples())
+
+    rows = []
+    for parallelism in (1, 2):
+        row: Dict = {"parallelism": parallelism}
+        for runner in ("threaded", "process"):
+            best_seconds = float("inf")
+            for _ in range(repeats):
+                supplier = [t.copy() for t in tuples]
+                pipeline = query_pipeline(
+                    "q1",
+                    supplier,
+                    mode=ProvenanceMode.NONE,
+                    deployment="inter",
+                    execution="process" if runner == "process" else "event",
+                    parallelism=parallelism,
+                )
+                result = pipeline.build()
+                started = time.perf_counter()
+                if runner == "process":
+                    pipeline.run()
+                else:
+                    ThreadedRuntime(result.instances, timeout_s=300.0).run()
+                best_seconds = min(best_seconds, time.perf_counter() - started)
+            row[runner] = {
+                "seconds": round(best_seconds, 6),
+                "tuples_per_second": round(len(tuples) / best_seconds, 1),
+            }
+        rows.append(row)
+        print(
+            f"q1 NP inter parallelism {parallelism}: threaded "
+            f"{row['threaded']['tuples_per_second']:>12,.0f} tps, process "
+            f"{row['process']['tuples_per_second']:>12,.0f} tps"
+        )
+    speedups = {
+        runner: round(
+            rows[1][runner]["tuples_per_second"] / rows[0][runner]["tuples_per_second"],
+            3,
+        )
+        for runner in ("threaded", "process")
+    }
+    print(
+        f"parallelism 2/1 scaling on {os.cpu_count()} core(s): "
+        f"threaded {speedups['threaded']:.2f}x, process {speedups['process']:.2f}x"
+    )
+    return {
+        "cell": "q1/NP/inter",
+        "cpu_count": os.cpu_count(),
+        "source_tuples": len(tuples),
+        "note": (
+            "True multi-process execution: each SPE instance is an OS "
+            "process with pipe-backed channels (execution='process'), vs "
+            "one thread per instance under the GIL.  speedup_parallelism_2 "
+            "is the parallelism-2 over parallelism-1 throughput ratio per "
+            "runtime; on a multi-core machine the process runtime scales "
+            "(threads cannot), on cpu_count=1 neither can and the process "
+            "runtime additionally pays fork/pipe overhead."
+        ),
+        "rows": rows,
+        "speedup_parallelism_2": speedups,
+    }
+
+
 def build_report(scale: WorkloadScale, repeats: int) -> Dict:
     cells = []
     parallel_scaling = None
     provenance_store = None
+    multiprocess_scaling = None
     for query_name in QUERY_NAMES:
         tuples = materialise_workload(query_name, scale)
         if query_name == "q1":
             parallel_scaling = measure_parallel_scaling(tuples, repeats)
             provenance_store = measure_provenance_store(tuples, repeats)
+            multiprocess_scaling = measure_multiprocess_scaling(scale, repeats)
         for deployment in DEPLOYMENTS:
             for mode in MODES:
                 cell = measure_cell(query_name, tuples, mode, deployment, repeats)
@@ -303,6 +400,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
             "rows": parallel_scaling,
         },
         "provenance_store": provenance_store,
+        "multiprocess_scaling": multiprocess_scaling,
         "cells": cells,
     }
 

@@ -24,7 +24,7 @@ the sinks, the collected provenance records and the transfer statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.dataflow import Dataflow, DataflowError
 from repro.core.baseline import BaselineProvenanceResolver
@@ -41,7 +41,7 @@ from repro.core.unfolder import attach_su
 from repro.provstore.backends import JsonlLedgerBackend
 from repro.provstore.ledger import ProvenanceLedger
 from repro.provstore.tap import LedgerTap
-from repro.spe.channels import Channel
+from repro.spe.channels import Channel, ProcessTransport
 from repro.spe.instance import SPEInstance
 from repro.spe.metrics import (
     ChannelCounters,
@@ -51,6 +51,7 @@ from repro.spe.metrics import (
 from repro.spe.operators.base import Operator
 from repro.spe.operators.sink import SinkOperator
 from repro.spe.operators.source import SourceOperator
+from repro.spe.multiprocess import MultiprocessRuntime
 from repro.spe.provenance_api import ProvenanceManager
 from repro.spe.query import Query
 from repro.spe.runtime import DistributedRuntime, PollingDistributedRuntime
@@ -271,14 +272,12 @@ class PipelineResult:
             operators.update(
                 snapshot_operators(instance.operators, instance=instance.name)
             )
-        channels = {
-            channel.name: ChannelCounters(
-                name=channel.name,
-                tuples_sent=channel.tuples_sent,
-                bytes_sent=channel.bytes_sent,
+        channels = {}
+        for channel in self.channels:
+            tuples_sent, bytes_sent = channel.counters()
+            channels[channel.name] = ChannelCounters(
+                name=channel.name, tuples_sent=tuples_sent, bytes_sent=bytes_sent
             )
-            for channel in self.channels
-        }
         return MetricsSnapshot(operators=operators, channels=channels)
 
 
@@ -294,7 +293,9 @@ class Pipeline:
     of the dataflow's window sizes.  ``execution`` selects the execution
     core: ``"event"`` (default) is the readiness-driven batch scheduler,
     ``"polling"`` the legacy whole-graph polling loop kept as the
-    behavioural oracle.
+    behavioural oracle, and ``"process"`` runs each SPE instance as its own
+    OS process connected by pipe-backed channels (requires a placement; see
+    :class:`~repro.spe.multiprocess.MultiprocessRuntime`).
     """
 
     def __init__(
@@ -308,9 +309,16 @@ class Pipeline:
         execution: str = "event",
         provenance_store: Union[ProvenanceLedger, str, None] = None,
     ) -> None:
-        if execution not in ("event", "polling"):
+        if execution not in ("event", "polling", "process"):
             raise DataflowError(
-                f"unknown execution mode {execution!r}; expected 'event' or 'polling'"
+                f"unknown execution mode {execution!r}; expected 'event', "
+                "'polling' or 'process'"
+            )
+        if execution == "process" and placement is None:
+            raise DataflowError(
+                "execution='process' runs each SPE instance as its own OS "
+                "process and therefore needs a Placement (an inter-process "
+                "deployment); pass placement=... or use execution='event'"
             )
         self.dataflow = dataflow
         self.mode = resolve_mode(provenance)
@@ -403,6 +411,14 @@ class Pipeline:
         )
 
     def _build_inter(self) -> PipelineResult:
+        if self.execution == "process":
+            # Channels must be pipe-backed before the workers fork: each
+            # transport is one multiprocessing pipe carrying the serialised
+            # payloads across the process boundary.
+            def channel_factory(name: str) -> Channel:
+                return Channel(name, transport=ProcessTransport())
+        else:
+            channel_factory = Channel
         builder = _DistributedBuilder(
             self.dataflow,
             self.placement,
@@ -411,6 +427,7 @@ class Pipeline:
             retention=self.retention,
             keep_unfolded_tuples=self.keep_unfolded_tuples,
             store=self.store,
+            channel_factory=channel_factory,
         )
         return builder.build()
 
@@ -438,6 +455,16 @@ class Pipeline:
             scheduler.run()
             result.rounds = scheduler.passes
             result.wakeups = scheduler.wakeups
+        elif self.execution == "process":
+            runtime = MultiprocessRuntime(
+                result.instances,
+                max_rounds=max_rounds,
+                round_callback=round_callback,
+                callback_every=callback_every,
+            )
+            runtime.run()
+            result.rounds = runtime.rounds
+            result.wakeups = runtime.total_wakeups()
         else:
             runtime_cls = (
                 DistributedRuntime
@@ -475,11 +502,13 @@ class _DistributedBuilder:
         retention: Optional[float],
         keep_unfolded_tuples: bool = False,
         store: Optional[ProvenanceLedger] = None,
+        channel_factory: Callable[[str], Channel] = Channel,
     ) -> None:
         self.dataflow = dataflow
         self.placement = placement
         self.mode = mode
         self.fused = fused
+        self.channel_factory = channel_factory
         self.retention = (
             retention if retention is not None else dataflow.retention_s()
         )
@@ -499,7 +528,7 @@ class _DistributedBuilder:
 
     # -- helpers -----------------------------------------------------------------
     def _channel(self, label: str) -> Channel:
-        channel = Channel(f"{self.dataflow.name}_{label}")
+        channel = self.channel_factory(f"{self.dataflow.name}_{label}")
         self.channels.append(channel)
         return channel
 

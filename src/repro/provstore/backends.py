@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import IO, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.provstore.entries import SinkMapping, SourceEntry
-from repro.spe.errors import SPEError
+from repro.spe.errors import SerializationError, SPEError
 from repro.spe.serialization import dumps_document, loads_document
 
 #: JSONL segment file name pattern; the index keeps append order sortable.
@@ -111,6 +111,10 @@ class JsonlLedgerBackend(LedgerBackend):
         self._handle: Optional[IO[str]] = None
         self._segment_index = 0
         self._records_in_segment = 0
+        #: set by :meth:`load` when the newest segment ended in a torn
+        #: (truncated, unparsable) trailing line -- the signature of a
+        #: writer killed mid-append.  ``{"segment": name, "line": number}``.
+        self.torn_tail: Optional[Dict[str, object]] = None
         if read_only:
             if not self.path.is_dir():
                 raise LedgerError(f"no provenance store at {str(self.path)!r}")
@@ -170,12 +174,47 @@ class JsonlLedgerBackend(LedgerBackend):
 
     # -- replay ---------------------------------------------------------------
     def _documents(self) -> Iterator[Dict]:
-        for segment in self.segment_paths():
+        """Replay every record line, tolerating a torn tail in the newest segment.
+
+        A writer killed between ``write`` and the line's newline leaves a
+        truncated final JSONL line.  That is an expected crash signature,
+        not corruption of the sealed history: the torn line is the *newest*
+        record and everything before it is intact.  It is skipped and
+        reported via :attr:`torn_tail` instead of refusing to open the
+        store.  An unparsable line anywhere *else* (mid-file, or in an
+        older segment) still raises: that indicates real corruption.
+        """
+        segments = self.segment_paths()
+        for index, segment in enumerate(segments):
+            newest_segment = index == len(segments) - 1
+            torn: Optional[Dict[str, object]] = None
             with segment.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        yield loads_document(line)
+                for number, raw in enumerate(handle):
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    if torn is not None:
+                        # A content line *follows* the unparsable one: that
+                        # is mid-file corruption, not a torn tail.
+                        raise LedgerError(
+                            f"provenance store at {str(self.path)!r} has an "
+                            f"unparsable record at {segment.name}:{torn['line']} "
+                            "(not a torn tail; the store is corrupt)"
+                        )
+                    try:
+                        document = loads_document(line)
+                    except SerializationError:
+                        if newest_segment:
+                            torn = {"segment": segment.name, "line": number + 1}
+                            continue
+                        raise LedgerError(
+                            f"provenance store at {str(self.path)!r} has an "
+                            f"unparsable record at {segment.name}:{number + 1} "
+                            "(not a torn tail; the store is corrupt)"
+                        )
+                    yield document
+            if torn is not None:
+                self.torn_tail = torn
 
     def load(self) -> Tuple[List[SourceEntry], List[SinkMapping]]:
         sources: List[SourceEntry] = []

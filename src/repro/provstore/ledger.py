@@ -470,6 +470,10 @@ def open_provenance_store(path, **backend_options) -> ProvenanceLedger:
     / :meth:`ProvenanceLedger.derived_from` queries as the live ledger that
     wrote the store; ingestion and subscriptions-at-seal are disabled
     (``subscribe(replay=True)`` still replays the sealed stream).
+
+    A writer killed mid-append leaves a torn trailing line in the newest
+    segment; the open tolerates it (the intact prefix loads normally) and
+    reports it via ``ledger.backend.torn_tail``.
     """
     backend = JsonlLedgerBackend(path, read_only=True, **backend_options)
     return ProvenanceLedger(backend=backend, name=str(path))

@@ -19,7 +19,8 @@ from repro.spe.scheduler import PollingScheduler, Scheduler
 from repro.spe.instance import SPEInstance
 from repro.spe.runtime import DistributedRuntime, PollingDistributedRuntime
 from repro.spe.threaded import ThreadedRuntime, run_threaded
-from repro.spe.channels import Channel
+from repro.spe.multiprocess import MultiprocessRuntime, run_multiprocess
+from repro.spe.channels import Channel, ChannelTransport, InMemoryTransport, ProcessTransport
 from repro.spe.fault_tolerance import (
     DownstreamProgress,
     ReliableSendOperator,
@@ -40,7 +41,12 @@ __all__ = [
     "PollingDistributedRuntime",
     "ThreadedRuntime",
     "run_threaded",
+    "MultiprocessRuntime",
+    "run_multiprocess",
     "Channel",
+    "ChannelTransport",
+    "InMemoryTransport",
+    "ProcessTransport",
     "DownstreamProgress",
     "ReliableSendOperator",
     "UpstreamBackup",

@@ -6,22 +6,248 @@ carries *serialised* tuples only, tracks the producer watermark, and records
 simple traffic statistics (tuples and bytes transferred) that the experiment
 harness uses to reason about network load.
 
+The queueing mechanics live behind a :class:`ChannelTransport`:
+
+* :class:`InMemoryTransport` (the default) is a plain deque shared by both
+  sides -- the cooperative :class:`~repro.spe.scheduler.Scheduler`, the
+  :class:`~repro.spe.runtime.DistributedRuntime` and the
+  :class:`~repro.spe.threaded.ThreadedRuntime` all use it.
+* :class:`ProcessTransport` carries the same serialised payloads over a
+  :mod:`multiprocessing` pipe, so the producer and the consumer can live in
+  *different OS processes* (the :class:`~repro.spe.multiprocess.MultiprocessRuntime`).
+  Watermark advances and the close marker travel as explicit control
+  messages; each side of the fork keeps its own local view of the channel
+  state, updated when the consumer drains the pipe.
+
 Like :class:`~repro.spe.streams.Stream`, a channel participates in readiness
 propagation: the Receive operator reading it registers itself as
 ``consumer``, and every producer-side mutation (:meth:`send`,
 :meth:`send_many`, :meth:`advance_watermark`, :meth:`close`) signals it.
 That is what lets the :class:`~repro.spe.runtime.DistributedRuntime` wake
 exactly the instance whose channel received data instead of round-robin
-polling every instance.
+polling every instance.  Cross-process transports skip that in-memory hook:
+there the pipe itself is the wake-up signal (the consumer's worker loop
+waits on the pipe's read end).
+
+Producer-side mutations take a per-channel lock: the traffic counters and
+the watermark's check-then-set are read-modify-writes, and under the
+threaded runtime a :class:`~repro.spe.metrics.MetricsSnapshot` may be taken
+from another thread while a producer is mid-update.  :meth:`counters`
+returns a consistent ``(tuples_sent, bytes_sent)`` pair under that lock.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple
 
 from repro.spe.errors import ChannelError
 from repro.spe.tuples import FINAL_WATERMARK
+
+
+class ChannelTransport:
+    """The producer-to-consumer path of one :class:`Channel`.
+
+    The producer side calls :meth:`send` / :meth:`send_many` /
+    :meth:`advance_watermark` / :meth:`close`; the consumer side calls
+    :meth:`receive` / :meth:`receive_all` and reads :attr:`watermark`,
+    :attr:`closed` and ``len()``.  ``local`` tells the owning channel
+    whether both sides share this very object (so the in-memory
+    consumer-signalling hook works) or live in different processes.
+    """
+
+    #: True when producer and consumer share this object in one process.
+    local = True
+
+    # -- producer side -----------------------------------------------------
+    def send(self, payload: str) -> None:
+        raise NotImplementedError
+
+    def send_many(self, payloads: Sequence[str]) -> None:
+        raise NotImplementedError
+
+    def advance_watermark(self, ts: float) -> bool:
+        """Advance the watermark (monotone); return True when it moved."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # -- consumer side -----------------------------------------------------
+    def receive(self) -> Optional[str]:
+        raise NotImplementedError
+
+    def receive_all(self) -> List[str]:
+        raise NotImplementedError
+
+    @property
+    def watermark(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryTransport(ChannelTransport):
+    """The default transport: a deque shared by producer and consumer."""
+
+    local = True
+
+    __slots__ = ("_queue", "_watermark", "_closed")
+
+    def __init__(self) -> None:
+        self._queue: Deque[str] = deque()
+        self._watermark: float = float("-inf")
+        self._closed = False
+
+    # -- producer side -----------------------------------------------------
+    def send(self, payload: str) -> None:
+        self._queue.append(payload)
+
+    def send_many(self, payloads: Sequence[str]) -> None:
+        self._queue.extend(payloads)
+
+    def advance_watermark(self, ts: float) -> bool:
+        if ts > self._watermark:
+            self._watermark = ts
+            return True
+        return False
+
+    def close(self) -> None:
+        self._closed = True
+        self._watermark = FINAL_WATERMARK
+
+    # -- consumer side -----------------------------------------------------
+    def receive(self) -> Optional[str]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def receive_all(self) -> List[str]:
+        # Drain with atomic ``popleft`` calls rather than snapshot+clear:
+        # under the ThreadedRuntime the producer appends from another
+        # thread, and a payload sent between a snapshot and a clear would
+        # be lost forever.
+        queue = self._queue
+        items: List[str] = []
+        while queue:
+            items.append(queue.popleft())
+        return items
+
+    @property
+    def watermark(self) -> float:
+        return self._watermark
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+#: message tags of the :class:`ProcessTransport` wire protocol.
+_MSG_DATA = "d"
+_MSG_WATERMARK = "w"
+_MSG_CLOSE = "c"
+
+
+class ProcessTransport(ChannelTransport):
+    """A :mod:`multiprocessing` pipe carrying the serialised payloads.
+
+    Built *before* the worker processes are forked, so both sides inherit
+    the same pipe.  After the fork the two copies of this object diverge:
+    the producer process uses the write end (and its local ``_watermark`` /
+    ``_closed`` record what it already announced), the consumer process
+    drains the read end into a local buffer and updates its own view from
+    the control messages.  Data messages carry whole batches, so one
+    ``send_many`` is one pipe write.
+
+    The consumer-side state (:attr:`watermark`, :attr:`closed`, ``len()``)
+    is only refreshed by :meth:`receive` / :meth:`receive_all` -- never by
+    the property reads themselves.  That keeps reads side-effect free: a
+    coordinator holding a third copy of the object can inspect it without
+    stealing messages from the real consumer.  The Receive operator always
+    drains before checking state, so it observes a consistent snapshot.
+    """
+
+    local = False
+
+    def __init__(self, context: Optional[multiprocessing.context.BaseContext] = None) -> None:
+        ctx = context if context is not None else multiprocessing.get_context()
+        self._reader, self._writer = ctx.Pipe(duplex=False)
+        self._buffer: Deque[str] = deque()
+        self._watermark: float = float("-inf")
+        self._closed = False
+
+    @property
+    def reader(self):
+        """The pipe's read end (waitable via ``multiprocessing.connection.wait``)."""
+        return self._reader
+
+    # -- producer side -----------------------------------------------------
+    def send(self, payload: str) -> None:
+        self._writer.send((_MSG_DATA, (payload,)))
+
+    def send_many(self, payloads: Sequence[str]) -> None:
+        self._writer.send((_MSG_DATA, tuple(payloads)))
+
+    def advance_watermark(self, ts: float) -> bool:
+        if ts > self._watermark:
+            self._watermark = ts
+            self._writer.send((_MSG_WATERMARK, ts))
+            return True
+        return False
+
+    def close(self) -> None:
+        self._closed = True
+        self._watermark = FINAL_WATERMARK
+        self._writer.send((_MSG_CLOSE, None))
+
+    # -- consumer side -----------------------------------------------------
+    def _drain(self) -> None:
+        reader = self._reader
+        buffer = self._buffer
+        while reader.poll():
+            tag, body = reader.recv()
+            if tag == _MSG_DATA:
+                buffer.extend(body)
+            elif tag == _MSG_WATERMARK:
+                if body > self._watermark:
+                    self._watermark = body
+            else:  # _MSG_CLOSE
+                self._closed = True
+                self._watermark = FINAL_WATERMARK
+
+    def receive(self) -> Optional[str]:
+        if not self._buffer:
+            self._drain()
+        if not self._buffer:
+            return None
+        return self._buffer.popleft()
+
+    def receive_all(self) -> List[str]:
+        self._drain()
+        items = list(self._buffer)
+        self._buffer.clear()
+        return items
+
+    @property
+    def watermark(self) -> float:
+        return self._watermark
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._buffer)
 
 
 class Channel:
@@ -29,27 +255,34 @@ class Channel:
 
     __slots__ = (
         "name",
-        "_queue",
-        "_watermark",
-        "_closed",
+        "_transport",
+        "_lock",
         "tuples_sent",
         "bytes_sent",
         "consumer",
     )
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: str = "", transport: Optional[ChannelTransport] = None) -> None:
         self.name = name
-        self._queue: Deque[str] = deque()
-        self._watermark: float = float("-inf")
-        self._closed = False
+        self._transport = transport if transport is not None else InMemoryTransport()
+        self._lock = threading.Lock()
         self.tuples_sent = 0
         self.bytes_sent = 0
         #: the Receive operator reading this channel (registered by
-        #: ``ReceiveOperator``); signalled on every producer-side mutation.
+        #: ``ReceiveOperator``); signalled on every producer-side mutation
+        #: when the transport is local (cross-process transports wake the
+        #: consumer through the pipe instead).
         self.consumer = None
+
+    @property
+    def transport(self) -> ChannelTransport:
+        """The transport carrying this channel's payloads."""
+        return self._transport
 
     # -- readiness ---------------------------------------------------------
     def _wake(self) -> None:
+        if not self._transport.local:
+            return
         consumer = self.consumer
         if consumer is not None:
             consumer.signal()
@@ -57,74 +290,70 @@ class Channel:
     # -- producer side -----------------------------------------------------
     def send(self, payload: str) -> None:
         """Enqueue one serialised tuple."""
-        if self._closed:
-            raise ChannelError(f"channel {self.name!r} is closed")
-        self._queue.append(payload)
-        self.tuples_sent += 1
-        self.bytes_sent += len(payload)
+        with self._lock:
+            if self._transport.closed:
+                raise ChannelError(f"channel {self.name!r} is closed")
+            self._transport.send(payload)
+            self.tuples_sent += 1
+            self.bytes_sent += len(payload)
         self._wake()
 
     def send_many(self, payloads: Iterable[str]) -> None:
         """Enqueue a batch of serialised tuples with one consumer wake-up."""
-        if self._closed:
-            raise ChannelError(f"channel {self.name!r} is closed")
         batch = payloads if isinstance(payloads, (list, tuple)) else list(payloads)
         if not batch:
             return
-        self._queue.extend(batch)
-        self.tuples_sent += len(batch)
-        self.bytes_sent += sum(len(payload) for payload in batch)
+        with self._lock:
+            if self._transport.closed:
+                raise ChannelError(f"channel {self.name!r} is closed")
+            self._transport.send_many(batch)
+            self.tuples_sent += len(batch)
+            self.bytes_sent += sum(len(payload) for payload in batch)
         self._wake()
 
     def advance_watermark(self, ts: float) -> None:
         """Advance the producer watermark (monotone)."""
-        if ts > self._watermark:
-            self._watermark = ts
+        with self._lock:
+            advanced = self._transport.advance_watermark(ts)
+        if advanced:
             self._wake()
 
     def close(self) -> None:
         """Signal that no further tuple will be sent."""
-        self._closed = True
-        self._watermark = FINAL_WATERMARK
+        with self._lock:
+            self._transport.close()
         self._wake()
 
     # -- consumer side -----------------------------------------------------
     def receive(self) -> Optional[str]:
         """Dequeue one serialised tuple, or None when the channel is empty."""
-        if not self._queue:
-            return None
-        return self._queue.popleft()
+        return self._transport.receive()
 
     def receive_all(self) -> List[str]:
-        """Dequeue every available serialised tuple.
-
-        Drains with atomic ``popleft`` calls rather than snapshot+clear:
-        under the :class:`~repro.spe.threaded.ThreadedRuntime` the producer
-        appends from another thread, and a payload sent between a snapshot
-        and a clear would be lost forever.
-        """
-        queue = self._queue
-        items: List[str] = []
-        while queue:
-            items.append(queue.popleft())
-        return items
+        """Dequeue every available serialised tuple."""
+        return self._transport.receive_all()
 
     # -- state ----------------------------------------------------------------
     @property
     def watermark(self) -> float:
         """Largest timestamp below which no further tuple will be sent."""
-        return self._watermark
+        return self._transport.watermark
 
     @property
     def closed(self) -> bool:
         """True once the producer called :meth:`close`."""
-        return self._closed
+        return self._transport.closed
+
+    def counters(self) -> Tuple[int, int]:
+        """A consistent ``(tuples_sent, bytes_sent)`` snapshot."""
+        with self._lock:
+            return self.tuples_sent, self.bytes_sent
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._transport)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Channel(name={self.name!r}, queued={len(self._queue)}, "
+            f"Channel(name={self.name!r}, queued={len(self._transport)}, "
             f"sent={self.tuples_sent}, bytes={self.bytes_sent})"
         )

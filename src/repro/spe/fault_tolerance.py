@@ -119,8 +119,12 @@ class ReliableSendOperator(SendOperator):
 
     def process_tuple(self, tup: StreamTuple) -> None:
         payload = serialize_tuple(tup, self.provenance.on_send(tup))
-        self.channel.send(payload)
+        # Record *before* sending: a crash between the two leaves, at worst,
+        # a backed-up-but-unsent tuple (replayed harmlessly on recovery).
+        # The opposite order would leave a sent-but-unbacked-up tuple that
+        # replay_into could never recover if the downstream lost it.
         self.backup.record(tup.ts, payload)
+        self.channel.send(payload)
         self._progress = True
 
     def on_watermark(self, watermark: float) -> None:

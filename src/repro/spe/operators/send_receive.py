@@ -65,22 +65,37 @@ class ReceiveOperator(Operator):
         self._progress = False
         if not self.outputs:
             return False
-        payloads = self.channel.receive_all()
-        if payloads:
-            on_receive = None if self.provenance.is_noop else self.provenance.on_receive
-            batch = []
-            for payload in payloads:
-                tup, provenance_payload = deserialize_tuple(payload)
-                if on_receive is not None:
-                    on_receive(tup, provenance_payload)
-                batch.append(tup)
-            self.tuples_in += len(batch)
-            self.emit_many(batch)
-        watermark = self.channel.watermark
-        if watermark > self._in_watermark:
-            self._in_watermark = watermark
-            self._advance_outputs(watermark)
-        if self.channel.closed and len(self.channel) == 0 and not self._outputs_closed:
+        channel = self.channel
+        on_receive = None if self.provenance.is_noop else self.provenance.on_receive
+        while True:
+            # Snapshot the watermark *before* draining: the producer only
+            # advances it after appending every tuple it covers, so all
+            # tuples the snapshot promises are caught by the drain below.
+            # Reading it after the drain races with a concurrent producer
+            # (threaded / multiprocess runtimes): a tuple sent between the
+            # drain and the read would be emitted on the *next* wake-up,
+            # after a watermark that already covers it, and downstream
+            # merges would release out of order.
+            watermark = channel.watermark
+            payloads = channel.receive_all()
+            if payloads:
+                batch = []
+                for payload in payloads:
+                    tup, provenance_payload = deserialize_tuple(payload)
+                    if on_receive is not None:
+                        on_receive(tup, provenance_payload)
+                    batch.append(tup)
+                self.tuples_in += len(batch)
+                self.emit_many(batch)
+            if watermark > self._in_watermark:
+                self._in_watermark = watermark
+                self._advance_outputs(watermark)
+            # The drain itself may have refreshed the channel view (pipe
+            # transports fold control messages into it): go around again
+            # until a pass neither delivered tuples nor moved the watermark.
+            if not payloads and channel.watermark == watermark:
+                break
+        if channel.closed and len(channel) == 0 and not self._outputs_closed:
             self._close_outputs()
         return self._progress
 
@@ -89,19 +104,26 @@ class ReceiveOperator(Operator):
         self._progress = False
         if not self.outputs:
             return False
+        channel = self.channel
         while True:
-            payload = self.channel.receive()
-            if payload is None:
+            # watermark-before-drain: see :meth:`work`.
+            watermark = channel.watermark
+            received = False
+            while True:
+                payload = channel.receive()
+                if payload is None:
+                    break
+                received = True
+                tup, provenance_payload = deserialize_tuple(payload)
+                self.tuples_in += 1
+                self.provenance.on_receive(tup, provenance_payload)
+                self.emit(tup)
+            if watermark > self._in_watermark:
+                self._in_watermark = watermark
+                self._advance_outputs(watermark)
+            if not received and channel.watermark == watermark:
                 break
-            tup, provenance_payload = deserialize_tuple(payload)
-            self.tuples_in += 1
-            self.provenance.on_receive(tup, provenance_payload)
-            self.emit(tup)
-        watermark = self.channel.watermark
-        if watermark > self._in_watermark:
-            self._in_watermark = watermark
-            self._advance_outputs(watermark)
-        if self.channel.closed and len(self.channel) == 0 and not self._outputs_closed:
+        if channel.closed and len(channel) == 0 and not self._outputs_closed:
             self._close_outputs()
         return self._progress
 

@@ -45,6 +45,7 @@ class InstanceWorker(threading.Thread):
         instance: SPEInstance,
         poll_interval_s: float = 0.0005,
         stop_event: Optional[threading.Event] = None,
+        on_error=None,
     ) -> None:
         super().__init__(name=f"spe-worker-{instance.name}", daemon=True)
         self.instance = instance
@@ -58,6 +59,10 @@ class InstanceWorker(threading.Thread):
         self.scheduler.on_wake = lambda _scheduler: self.wake_event.set()
         self.passes = 0
         self.error: Optional[BaseException] = None
+        #: invoked with this worker the moment it records an error, so the
+        #: runtime can stop (and wake) the other workers immediately instead
+        #: of letting them park until the deadline masks the real failure.
+        self.on_error = on_error
 
     def run(self) -> None:  # pragma: no cover - exercised through ThreadedRuntime
         try:
@@ -75,6 +80,8 @@ class InstanceWorker(threading.Thread):
                     self.wake_event.wait(timeout=max(self.poll_interval_s * 100, 0.05))
         except BaseException as exc:  # noqa: BLE001 - propagated by the runtime
             self.error = exc
+            if self.on_error is not None:
+                self.on_error(self)
 
 
 class ThreadedRuntime:
@@ -93,38 +100,76 @@ class ThreadedRuntime:
         self.timeout_s = timeout_s
         self._stop_event = threading.Event()
         self.workers: List[InstanceWorker] = []
+        #: workers in the order their errors were recorded (first = root cause).
+        self._failed: List[InstanceWorker] = []
+        self._failure_lock = threading.Lock()
+
+    def _record_failure(self, worker: InstanceWorker) -> None:
+        """A worker crashed: stop and wake everyone else *now*.
+
+        Without this, a downstream worker whose upstream died would park on
+        its wake event until the run deadline, and the resulting timeout
+        error would mask the original exception.
+        """
+        with self._failure_lock:
+            self._failed.append(worker)
+        self._stop_event.set()
+        for other in self.workers:
+            other.wake_event.set()
 
     def run(self) -> None:
         """Execute every instance to quiescence (or raise on error/timeout)."""
         for instance in self.instances:
             instance.validate()
         self.workers = [
-            InstanceWorker(instance, self.poll_interval_s, self._stop_event)
+            InstanceWorker(
+                instance,
+                self.poll_interval_s,
+                self._stop_event,
+                on_error=self._record_failure,
+            )
             for instance in self.instances
         ]
         for worker in self.workers:
             worker.start()
         deadline = time.monotonic() + self.timeout_s
+        # Snapshot which workers were still alive when their join timed out
+        # *before* the finally wakes everyone: a timed-out worker exits
+        # cleanly once it observes the stop request, and checking liveness
+        # only afterwards would let a truncated run return as success.
+        timed_out: List[InstanceWorker] = []
         try:
             for worker in self.workers:
                 remaining = max(0.0, deadline - time.monotonic())
                 worker.join(timeout=remaining)
                 if worker.is_alive():
-                    raise SchedulingError(
-                        f"instance {worker.instance.name!r} did not finish within "
-                        f"{self.timeout_s} seconds"
-                    )
+                    timed_out.append(worker)
         finally:
             self._stop_event.set()
             # Unblock any worker parked on its wake event so it can observe
             # the stop request instead of waiting out the safety-net timeout.
             for worker in self.workers:
                 worker.wake_event.set()
+        # The original exception is surfaced first: a timeout (or any other
+        # worker's secondary failure) is a symptom, not the cause.
+        with self._failure_lock:
+            failed = list(self._failed)
         for worker in self.workers:
-            if worker.error is not None:
+            if worker.error is not None and worker not in failed:
+                failed.append(worker)
+        if failed:
+            worker = failed[0]
+            raise SchedulingError(
+                f"instance {worker.instance.name!r} failed: {worker.error!r}"
+            ) from worker.error
+        for worker in self.workers:
+            if worker.is_alive() or (
+                worker in timed_out and not worker.scheduler.finished
+            ):
                 raise SchedulingError(
-                    f"instance {worker.instance.name!r} failed: {worker.error!r}"
-                ) from worker.error
+                    f"instance {worker.instance.name!r} did not finish within "
+                    f"{self.timeout_s} seconds"
+                )
 
     @property
     def finished(self) -> bool:

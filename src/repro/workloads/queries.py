@@ -419,8 +419,9 @@ def query_pipeline(
 
     ``deployment`` is ``"intra"`` (single process, deterministic Scheduler)
     or ``"inter"`` (the paper's three-instance DistributedRuntime deployment).
-    ``execution`` is ``"event"`` (readiness-driven batch scheduler, default)
-    or ``"polling"`` (the legacy whole-graph polling oracle).  ``parallelism``
+    ``execution`` is ``"event"`` (readiness-driven batch scheduler, default),
+    ``"polling"`` (the legacy whole-graph polling oracle) or ``"process"``
+    (one OS process per SPE instance, inter only).  ``parallelism``
     shards the keyed stateful stages; inter-process deployments then use
     :func:`query_parallel_placement`, spreading each replica onto its own
     SPE instance.

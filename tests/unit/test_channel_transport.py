@@ -1,0 +1,120 @@
+"""Unit tests of the channel transport interface.
+
+The :class:`~repro.spe.channels.Channel` API is transport-agnostic: the
+in-memory deque and the multiprocessing pipe must be observably identical
+to the Send/Receive operators.  A :class:`ProcessTransport` also works with
+producer and consumer in the *same* process (a pipe to self), which is what
+these tests exploit to exercise the wire protocol without forking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spe.channels import Channel, InMemoryTransport, ProcessTransport
+from repro.spe.errors import ChannelError
+from repro.spe.operators.send_receive import ReceiveOperator, SendOperator
+from repro.spe.streams import Stream
+from repro.spe.tuples import FINAL_WATERMARK
+from tests.optest import collect, feed, run_operator, tup, wire
+
+TRANSPORTS = (InMemoryTransport, ProcessTransport)
+
+
+@pytest.mark.parametrize("transport_cls", TRANSPORTS, ids=lambda c: c.__name__)
+class TestTransportContract:
+    def test_send_receive_round_trip(self, transport_cls):
+        channel = Channel("c", transport=transport_cls())
+        channel.send("one")
+        channel.send_many(["two", "three"])
+        assert channel.receive() == "one"
+        assert channel.receive_all() == ["two", "three"]
+        assert channel.receive() is None
+        assert channel.tuples_sent == 3
+        assert channel.bytes_sent == len("one") + len("two") + len("three")
+
+    def test_watermark_is_monotone(self, transport_cls):
+        channel = Channel("c", transport=transport_cls())
+        channel.advance_watermark(5.0)
+        channel.advance_watermark(3.0)
+        channel.receive_all()  # cross-process views refresh on drains
+        assert channel.watermark == 5.0
+        channel.advance_watermark(7.0)
+        channel.receive_all()
+        assert channel.watermark == 7.0
+
+    def test_close_finalises_the_watermark(self, transport_cls):
+        channel = Channel("c", transport=transport_cls())
+        channel.send("last")
+        channel.close()
+        with pytest.raises(ChannelError):
+            channel.send("after close")
+        with pytest.raises(ChannelError):
+            channel.send_many(["after close"])
+        assert channel.receive_all() == ["last"]
+        assert channel.closed
+        assert channel.watermark == FINAL_WATERMARK
+
+    def test_len_counts_undelivered_payloads(self, transport_cls):
+        channel = Channel("c", transport=transport_cls())
+        channel.send_many(["a", "b", "c"])
+        channel.receive_all()  # the consumer-side buffer refreshes on drains
+        assert len(channel) == 0
+        channel.send("d")
+        assert channel.receive() == "d"
+
+    def test_send_receive_operators_through_the_transport(self, transport_cls):
+        channel = Channel("c", transport=transport_cls())
+        send = SendOperator("send", channel)
+        (send_in,), _ = wire(send, n_outputs=0)
+        feed(send_in, [tup(1.0, v=1), tup(2.0, v=2)], close=True)
+        run_operator(send)
+
+        receive = ReceiveOperator("receive", channel)
+        out = Stream("out")
+        receive.add_output(out)
+        run_operator(receive)
+        assert [t["v"] for t in collect(out)] == [1, 2]
+        assert out.closed
+        assert receive.finished
+
+
+class TestProcessTransportProtocol:
+    def test_state_reads_do_not_steal_pipe_messages(self):
+        # Property reads must stay side-effect free so a third copy of the
+        # object (the coordinator's) can inspect it without stealing the
+        # consumer's messages.
+        transport = ProcessTransport()
+        channel = Channel("c", transport=transport)
+        channel.send("payload")
+        channel.advance_watermark(4.0)
+        assert len(channel) == 0  # nothing drained into the local buffer yet
+        assert transport.reader.poll()  # ... and the messages are still piped
+        assert channel.receive_all() == ["payload"]
+        assert channel.watermark == 4.0
+
+    def test_reader_is_waitable(self):
+        from multiprocessing import connection
+
+        transport = ProcessTransport()
+        channel = Channel("c", transport=transport)
+        assert connection.wait([transport.reader], timeout=0.0) == []
+        channel.send("payload")
+        assert connection.wait([transport.reader], timeout=1.0) == [transport.reader]
+
+    def test_no_consumer_signal_for_cross_process_transports(self):
+        signals = []
+
+        class FakeConsumer:
+            def signal(self):
+                signals.append(True)
+
+        local = Channel("local")
+        local.consumer = FakeConsumer()
+        local.send("x")
+        assert signals == [True]
+
+        piped = Channel("piped", transport=ProcessTransport())
+        piped.consumer = FakeConsumer()
+        piped.send("x")
+        assert signals == [True]  # unchanged: the pipe is the wake-up signal

@@ -1,0 +1,268 @@
+"""Fault-path regression tests: crash propagation, backup ordering, torn tails.
+
+Covers the failure scenarios of the bugfix sweep:
+
+* a worker crash under the :class:`~repro.spe.threaded.ThreadedRuntime` or
+  the :class:`~repro.spe.multiprocess.MultiprocessRuntime` must stop the
+  healthy workers immediately and surface the *original* exception (not a
+  timeout masking it),
+* a :class:`~repro.spe.fault_tolerance.ReliableSendOperator` that crashes
+  between backup and channel send must leave the payload replayable,
+* a :class:`~repro.provstore.backends.JsonlLedgerBackend` whose writer was
+  killed mid-append (torn trailing JSONL line) must still re-open,
+* :class:`~repro.spe.channels.Channel` traffic counters must stay
+  consistent under concurrent producer-side mutation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.provstore import ProvenanceLedger, open_provenance_store
+from repro.provstore.backends import JsonlLedgerBackend, LedgerError
+from repro.spe.channels import Channel, InMemoryTransport, ProcessTransport
+from repro.spe.errors import ChannelError, SchedulingError
+from repro.spe.fault_tolerance import ReliableSendOperator, UpstreamBackup, replay_into
+from repro.spe.instance import SPEInstance
+from repro.spe.multiprocess import MultiprocessRuntime
+from repro.spe.threaded import ThreadedRuntime
+from tests.optest import tup
+
+fork_required = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="multiprocess execution requires the fork start method",
+)
+
+
+def crashing_deployment(process_backed: bool):
+    """Upstream crashes mid-stream; downstream would park forever without it.
+
+    The upstream source raises after a few batches and before closing its
+    channel, so the downstream Receive never sees a close marker -- exactly
+    the scenario in which a runtime that only notices errors at join time
+    lets the downstream wait out the full deadline.
+    """
+    channel = Channel(
+        "a_to_b", transport=ProcessTransport() if process_backed else None
+    )
+
+    def exploding_supplier():
+        for ts in range(1000):
+            if ts == 200:
+                raise RuntimeError("upstream exploded mid-stream")
+            yield tup(float(ts), v=ts)
+
+    upstream = SPEInstance("upstream")
+    source = upstream.add_source("source", exploding_supplier, batch_size=16)
+    send = upstream.add_send("send", channel)
+    upstream.connect(source, send)
+
+    downstream = SPEInstance("downstream")
+    receive = downstream.add_receive("receive", channel)
+    sink = downstream.add_sink("sink")
+    downstream.connect(receive, sink)
+    return [upstream, downstream]
+
+
+class TestThreadedCrashPropagation:
+    def test_original_error_surfaces_fast_not_the_timeout(self):
+        runtime = ThreadedRuntime(crashing_deployment(False), timeout_s=60.0)
+        started = time.monotonic()
+        with pytest.raises(SchedulingError, match="upstream exploded mid-stream"):
+            runtime.run()
+        elapsed = time.monotonic() - started
+        # the downstream worker was woken and stopped immediately instead of
+        # parking until the 60s deadline turned the crash into a timeout.
+        assert elapsed < 10.0
+        assert runtime._stop_event.is_set()
+        for worker in runtime.workers:
+            worker.join(timeout=5.0)
+            assert not worker.is_alive()
+
+    def test_error_is_chained_as_the_cause(self):
+        runtime = ThreadedRuntime(crashing_deployment(False), timeout_s=60.0)
+        with pytest.raises(SchedulingError) as excinfo:
+            runtime.run()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+@fork_required
+class TestMultiprocessCrashPropagation:
+    def test_original_error_surfaces_fast_not_the_timeout(self):
+        runtime = MultiprocessRuntime(crashing_deployment(True), timeout_s=60.0)
+        started = time.monotonic()
+        with pytest.raises(SchedulingError, match="upstream exploded mid-stream"):
+            runtime.run()
+        elapsed = time.monotonic() - started
+        assert elapsed < 20.0
+        # every worker process was stopped and reaped.
+        for worker in runtime.workers:
+            assert not worker.process.is_alive()
+
+    def test_rejects_non_process_channels(self):
+        with pytest.raises(SchedulingError, match="not process-backed"):
+            MultiprocessRuntime(crashing_deployment(False))
+
+
+class TestReliableSendOrdering:
+    class _ExplodingChannel(Channel):
+        """A channel whose send fails (downstream link lost mid-send)."""
+
+        def send(self, payload):
+            raise ChannelError("link lost mid-send")
+
+    def test_payload_is_backed_up_before_the_send(self):
+        backup = UpstreamBackup(retention=100)
+        channel = self._ExplodingChannel("lossy")
+        send = ReliableSendOperator("send", channel, backup)
+        with pytest.raises(ChannelError):
+            send.process_tuple(tup(1.0, v=42))
+        # the crash hit *between* backup and send: the tuple must be
+        # recoverable, not silently lost.
+        assert len(backup) == 1
+        recovery = Channel("recovery")
+        assert replay_into(backup, recovery) == 1
+        assert recovery.tuples_sent == 1
+
+    def test_batch_path_records_each_tuple_before_sending_it(self):
+        backup = UpstreamBackup(retention=100)
+        channel = self._ExplodingChannel("lossy")
+        send = ReliableSendOperator("send", channel, backup)
+        with pytest.raises(ChannelError):
+            send.process_batch([tup(1.0, v=1), tup(2.0, v=2)])
+        # per-tuple fallback: the first tuple was recorded before its send
+        # failed; nothing was sent-but-unbacked-up.
+        assert len(backup) == 1
+
+
+class TestTornLedgerTail:
+    def _write_store(self, path, mappings=3):
+        ledger = ProvenanceLedger(
+            backend=JsonlLedgerBackend(path, segment_records=100), retention=0.0
+        )
+        for index in range(mappings):
+            ledger.ingest(
+                tup(
+                    float(index),
+                    sink_ts=float(index),
+                    sink_id=f"sink:{index}",
+                    sink_value=index,
+                    ts_o=float(index),
+                    id_o=f"src:{index}",
+                )
+            )
+        ledger.flush()
+        ledger.close()
+        return ledger
+
+    def test_torn_trailing_line_is_tolerated_and_reported(self, tmp_path):
+        path = tmp_path / "store"
+        live = self._write_store(path)
+        segment = sorted(path.glob("segment-*.jsonl"))[-1]
+        intact = segment.read_text()
+        # simulate a writer killed mid-append: the final line is truncated.
+        segment.write_text(intact.rstrip("\n")[:-7])
+        reopened = open_provenance_store(path)
+        assert reopened.backend.torn_tail is not None
+        assert reopened.backend.torn_tail["segment"] == segment.name
+        # everything before the torn line is served normally.
+        assert reopened.sealed_count == live.sealed_count - 1
+        for mapping in reopened.mappings():
+            assert live.mapping_for(mapping.sink_key) is not None
+
+    def test_mid_file_corruption_still_refuses_to_open(self, tmp_path):
+        path = tmp_path / "store"
+        self._write_store(path)
+        segment = sorted(path.glob("segment-*.jsonl"))[-1]
+        lines = segment.read_text().rstrip("\n").split("\n")
+        lines[1] = lines[1][:-5]  # corrupt a line that is *not* the tail
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(LedgerError, match="not a torn tail"):
+            open_provenance_store(path)
+
+    def test_intact_store_reports_no_torn_tail(self, tmp_path):
+        path = tmp_path / "store"
+        live = self._write_store(path)
+        reopened = open_provenance_store(path)
+        assert reopened.backend.torn_tail is None
+        assert reopened.sealed_count == live.sealed_count
+
+
+class TestReceiveWatermarkRace:
+    """A producer racing between the Receive's drain and its watermark read.
+
+    The Receive must snapshot the channel watermark *before* draining: the
+    producer appends tuples and only then advances the watermark covering
+    them, so a watermark read after the drain can observe an advance whose
+    tuples the drain missed.  The Receive would then promise downstream
+    that nothing below the watermark follows -- and emit exactly such a
+    tuple on its next wake-up, making an order-restoring Merge release out
+    of order (a crash first seen under the ThreadedRuntime with keyed
+    parallelism).
+    """
+
+    class _RacingTransport(InMemoryTransport):
+        """Interleaves a producer burst inside the consumer's first drain."""
+
+        def __init__(self):
+            super().__init__()
+            self.raced = False
+
+        def receive_all(self):
+            drained = super().receive_all()
+            if not self.raced:
+                self.raced = True
+                # the producer thread runs here: two tuples, then the
+                # watermark that covers them.
+                super().send('{"ts": 10530.0, "values": {"v": 1}, "wall": 0.0, "prov": {}}')
+                super().send('{"ts": 10590.0, "values": {"v": 2}, "wall": 0.0, "prov": {}}')
+                super().advance_watermark(10590.0)
+            return drained
+
+    def test_tuples_are_never_emitted_behind_the_watermark(self):
+        from repro.spe.operators.send_receive import ReceiveOperator
+        from repro.spe.streams import Stream
+
+        transport = self._RacingTransport()
+        channel = Channel("racy", transport=transport)
+        receive = ReceiveOperator("receive", channel)
+        out = Stream("out")  # enforces order: emitting behind a watermark raises
+        receive.add_output(out)
+        receive.work()
+        assert transport.raced
+        # both racing tuples were recovered in the same wake-up, *before*
+        # the watermark covering them was forwarded downstream.
+        assert receive.tuples_in == 2
+        assert out.watermark == 10590.0
+
+
+class TestChannelCounterConsistency:
+    def test_concurrent_producers_never_lose_counter_updates(self):
+        channel = Channel("contended")
+        per_thread = 2000
+
+        def blast(base):
+            for index in range(per_thread):
+                channel.send(f"payload-{base + index}")
+                channel.advance_watermark(float(base + index))
+
+        threads = [
+            threading.Thread(target=blast, args=(base,)) for base in (0, 10_000)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tuples_sent, bytes_sent = channel.counters()
+        assert tuples_sent == 2 * per_thread
+        assert bytes_sent == sum(
+            len(f"payload-{base + index}")
+            for base in (0, 10_000)
+            for index in range(per_thread)
+        )
+        assert channel.watermark == float(10_000 + per_thread - 1)
+        assert len(channel) == 2 * per_thread
