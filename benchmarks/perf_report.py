@@ -35,6 +35,13 @@ recorded ``cpu_count`` qualifies the numbers: on a single-core machine the
 process runtime cannot show real scaling either (there is nothing to
 schedule the shards onto) and pays the fork/pipe overhead on top.
 
+A **cluster-scaling** section runs the same q1 NP inter cell on the
+:class:`~repro.spe.cluster.ClusterRuntime`: instances deployed to loopback
+cluster workers over TCP, with plan shipping and SocketTransport channels.
+It records the coordinator/worker protocol + socket dataplane cost next to
+the pipe-backed numbers, plus the actual wire traffic (tuples and bytes
+over the sockets) per run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_report.py                 # small scale
@@ -340,17 +347,94 @@ def measure_multiprocess_scaling(scale: WorkloadScale, repeats: int) -> Dict:
     }
 
 
+def measure_cluster_scaling(scale: WorkloadScale, repeats: int) -> Dict:
+    """q1 NP inter at parallelism 1 / 2 on the cluster runtime.
+
+    Same cell (and same stretched workload) as the multiprocess section,
+    but the SPE instances run inside cluster workers reached over loopback
+    TCP sockets: plans are serialised and shipped, inter-instance channels
+    cross the socket dataplane as length-prefixed frames, and sink results
+    ship back at quiescence.  The section records the protocol + socket
+    overhead and the wire traffic per run.  The default in-process workers
+    share the coordinator's interpreter (and GIL), so parallelism-2 numbers
+    here measure the dataplane, not multi-core scaling -- point real
+    daemons (``python -m repro.spe.cluster --serve``) at separate machines
+    for that.
+    """
+    config = workload_config_for("q1", scale)
+    config = dataclasses.replace(config, duration_s=config.duration_s * 6)
+    tuples = list(LinearRoadGenerator(config).tuples())
+
+    rows = []
+    for parallelism in (1, 2):
+        best_seconds = float("inf")
+        best_result = None
+        for _ in range(repeats):
+            supplier = [t.copy() for t in tuples]
+            pipeline = query_pipeline(
+                "q1",
+                supplier,
+                mode=ProvenanceMode.NONE,
+                deployment="inter",
+                execution="cluster",
+                parallelism=parallelism,
+            )
+            result = pipeline.build()
+            started = time.perf_counter()
+            pipeline.run()
+            seconds = time.perf_counter() - started
+            if seconds < best_seconds:
+                best_seconds = seconds
+                best_result = result
+        rows.append(
+            {
+                "parallelism": parallelism,
+                "seconds": round(best_seconds, 6),
+                "tuples_per_second": round(len(tuples) / best_seconds, 1),
+                "tuples_over_sockets": best_result.tuples_transferred(),
+                "bytes_over_sockets": best_result.bytes_transferred(),
+                "sink_tuples": sum(sink.count for sink in best_result.sinks),
+            }
+        )
+        print(
+            f"q1 NP inter cluster parallelism {parallelism}: "
+            f"{rows[-1]['tuples_per_second']:>12,.0f} tps, "
+            f"{rows[-1]['tuples_over_sockets']:,} tuples / "
+            f"{rows[-1]['bytes_over_sockets']:,} bytes over the sockets"
+        )
+    speedup = round(
+        rows[1]["tuples_per_second"] / rows[0]["tuples_per_second"], 3
+    )
+    return {
+        "cell": "q1/NP/inter",
+        "source_tuples": len(tuples),
+        "note": (
+            "Cluster runtime: SPE instances deployed to loopback cluster "
+            "workers over TCP (plan shipping + SocketTransport channels). "
+            "Compare tuples_per_second with the multiprocess_scaling rows "
+            "for the socket-vs-pipe dataplane cost; tuples/bytes_over_"
+            "sockets are the actual wire traffic.  In-process loopback "
+            "workers share one interpreter, so speedup_parallelism_2 is "
+            "not a multi-core scaling claim."
+        ),
+        "rows": rows,
+        "speedup_parallelism_2": speedup,
+    }
+
+
 def build_report(scale: WorkloadScale, repeats: int) -> Dict:
     cells = []
     parallel_scaling = None
     provenance_store = None
     multiprocess_scaling = None
+    cluster_scaling = None
     for query_name in QUERY_NAMES:
         tuples = materialise_workload(query_name, scale)
         if query_name == "q1":
             parallel_scaling = measure_parallel_scaling(tuples, repeats)
             provenance_store = measure_provenance_store(tuples, repeats)
             multiprocess_scaling = measure_multiprocess_scaling(scale, repeats)
+            cluster_scaling = measure_cluster_scaling(scale, repeats)
         for deployment in DEPLOYMENTS:
             for mode in MODES:
                 cell = measure_cell(query_name, tuples, mode, deployment, repeats)
@@ -401,6 +485,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
         },
         "provenance_store": provenance_store,
         "multiprocess_scaling": multiprocess_scaling,
+        "cluster_scaling": cluster_scaling,
         "cells": cells,
     }
 

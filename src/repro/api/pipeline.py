@@ -42,6 +42,7 @@ from repro.provstore.backends import JsonlLedgerBackend
 from repro.provstore.ledger import ProvenanceLedger
 from repro.provstore.tap import LedgerTap
 from repro.spe.channels import Channel, ProcessTransport
+from repro.spe.cluster import ClusterRuntime
 from repro.spe.instance import SPEInstance
 from repro.spe.metrics import (
     ChannelCounters,
@@ -56,6 +57,7 @@ from repro.spe.provenance_api import ProvenanceManager
 from repro.spe.query import Query
 from repro.spe.runtime import DistributedRuntime, PollingDistributedRuntime
 from repro.spe.scheduler import PollingScheduler, Scheduler
+from repro.spe.sockets import SocketTransport
 
 #: name of the dedicated provenance instance of distributed deployments.
 PROVENANCE_INSTANCE = "provenance_node"
@@ -293,9 +295,12 @@ class Pipeline:
     of the dataflow's window sizes.  ``execution`` selects the execution
     core: ``"event"`` (default) is the readiness-driven batch scheduler,
     ``"polling"`` the legacy whole-graph polling loop kept as the
-    behavioural oracle, and ``"process"`` runs each SPE instance as its own
+    behavioural oracle, ``"process"`` runs each SPE instance as its own
     OS process connected by pipe-backed channels (requires a placement; see
-    :class:`~repro.spe.multiprocess.MultiprocessRuntime`).
+    :class:`~repro.spe.multiprocess.MultiprocessRuntime`), and ``"cluster"``
+    ships each SPE instance to a worker daemon over TCP with socket-backed
+    channels (requires a placement; ``hosts`` places the instances -- see
+    :class:`~repro.spe.cluster.ClusterRuntime`).
     """
 
     def __init__(
@@ -308,17 +313,23 @@ class Pipeline:
         keep_unfolded_tuples: bool = False,
         execution: str = "event",
         provenance_store: Union[ProvenanceLedger, str, None] = None,
+        hosts=None,
     ) -> None:
-        if execution not in ("event", "polling", "process"):
+        if execution not in ("event", "polling", "process", "cluster"):
             raise DataflowError(
                 f"unknown execution mode {execution!r}; expected 'event', "
-                "'polling' or 'process'"
+                "'polling', 'process' or 'cluster'"
             )
-        if execution == "process" and placement is None:
+        if execution in ("process", "cluster") and placement is None:
             raise DataflowError(
-                "execution='process' runs each SPE instance as its own OS "
+                f"execution={execution!r} runs each SPE instance in its own "
                 "process and therefore needs a Placement (an inter-process "
                 "deployment); pass placement=... or use execution='event'"
+            )
+        if hosts is not None and execution != "cluster":
+            raise DataflowError(
+                "hosts=... places SPE instances on cluster worker daemons and "
+                "only applies to execution='cluster'"
             )
         self.dataflow = dataflow
         self.mode = resolve_mode(provenance)
@@ -327,6 +338,7 @@ class Pipeline:
         self.retention = retention
         self.keep_unfolded_tuples = keep_unfolded_tuples
         self.execution = execution
+        self.hosts = hosts
         self.store = self._resolve_store(provenance_store)
         self._result: Optional[PipelineResult] = None
 
@@ -417,6 +429,11 @@ class Pipeline:
             # payloads across the process boundary.
             def channel_factory(name: str) -> Channel:
                 return Channel(name, transport=ProcessTransport())
+        elif self.execution == "cluster":
+            # Socket transports start detached; the cluster wiring attaches
+            # the producer and consumer sockets on the workers' hosts.
+            def channel_factory(name: str) -> Channel:
+                return Channel(name, transport=SocketTransport(name))
         else:
             channel_factory = Channel
         builder = _DistributedBuilder(
@@ -458,6 +475,17 @@ class Pipeline:
         elif self.execution == "process":
             runtime = MultiprocessRuntime(
                 result.instances,
+                max_rounds=max_rounds,
+                round_callback=round_callback,
+                callback_every=callback_every,
+            )
+            runtime.run()
+            result.rounds = runtime.rounds
+            result.wakeups = runtime.total_wakeups()
+        elif self.execution == "cluster":
+            runtime = ClusterRuntime(
+                result.instances,
+                hosts=self.hosts,
                 max_rounds=max_rounds,
                 round_callback=round_callback,
                 callback_every=callback_every,

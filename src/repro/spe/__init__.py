@@ -20,7 +20,9 @@ from repro.spe.instance import SPEInstance
 from repro.spe.runtime import DistributedRuntime, PollingDistributedRuntime
 from repro.spe.threaded import ThreadedRuntime, run_threaded
 from repro.spe.multiprocess import MultiprocessRuntime, run_multiprocess
+from repro.spe.cluster import ClusterRuntime, ClusterWorker, run_cluster
 from repro.spe.channels import Channel, ChannelTransport, InMemoryTransport, ProcessTransport
+from repro.spe.sockets import SocketTransport
 from repro.spe.fault_tolerance import (
     DownstreamProgress,
     ReliableSendOperator,
@@ -43,10 +45,14 @@ __all__ = [
     "run_threaded",
     "MultiprocessRuntime",
     "run_multiprocess",
+    "ClusterRuntime",
+    "ClusterWorker",
+    "run_cluster",
     "Channel",
     "ChannelTransport",
     "InMemoryTransport",
     "ProcessTransport",
+    "SocketTransport",
     "DownstreamProgress",
     "ReliableSendOperator",
     "UpstreamBackup",

@@ -55,98 +55,24 @@ from typing import Dict, List, Optional, Tuple
 from repro.spe.channels import ProcessTransport
 from repro.spe.errors import SchedulingError
 from repro.spe.instance import SPEInstance
-from repro.spe.operators.sink import SinkOperator
 from repro.spe.runtime import _RuntimeBase
 from repro.spe.scheduler import Scheduler
-from repro.spe.serialization import deserialize_tuple, serialize_tuple
+from repro.spe.shipping import (
+    apply_instance_result,
+    collect_result,
+    prepare_sinks,
+    require_unique_channel_names,
+)
 
 #: how long an idle worker blocks on its input pipes before re-checking the
 #: stop event (a safety net; pipe readiness is the primary wake-up signal).
 _WAIT_TIMEOUT_S = 0.05
 
-#: event tags of a shipped sink stream.
-_EVENT_TUPLE = "t"
-_EVENT_WATERMARK = "w"
-_EVENT_CLOSE = "c"
-
-
-class _ShippingTap:
-    """Worker-side sink observer: records the sink's stream for shipping.
-
-    Installed *in the child process* in place of the coordinator-side
-    callback and taps (which must not run twice, and whose targets -- a
-    collector dict, a JSONL ledger directory -- belong to the coordinator).
-    Tuples are serialised with the same channel serialisation, so anything
-    that reached a sink of a process deployment ships back losslessly.
-    """
-
-    def __init__(self) -> None:
-        self.events: List[Tuple[str, object]] = []
-
-    def on_tuple(self, tup) -> None:
-        self.events.append((_EVENT_TUPLE, serialize_tuple(tup, {})))
-
-    def on_watermark(self, watermark: float) -> None:
-        self.events.append((_EVENT_WATERMARK, watermark))
-
-    def on_close(self) -> None:
-        self.events.append((_EVENT_CLOSE, None))
-
-
-def _instance_manager(instance: SPEInstance):
-    """The provenance manager installed on ``instance``'s operators."""
-    for operator in instance.operators:
-        manager = getattr(operator, "provenance", None)
-        if manager is not None:
-            return manager
-    return None
-
-
-def _prepare_sinks(instance: SPEInstance) -> Dict[str, _ShippingTap]:
-    """Replace every sink's callback/taps with a shipping recorder (child only)."""
-    taps: Dict[str, _ShippingTap] = {}
-    for sink in instance.sinks():
-        tap = _ShippingTap()
-        sink._callback = None
-        sink._keep_tuples = False
-        sink.taps = [tap]
-        taps[sink.name] = tap
-    return taps
-
-
-def _collect_result(
-    instance: SPEInstance, scheduler: Scheduler, passes: int, taps: Dict[str, _ShippingTap]
-) -> Dict:
-    """Everything the coordinator needs to reconstruct this instance's run."""
-    manager = _instance_manager(instance)
-    return {
-        "instance": instance.name,
-        "passes": passes,
-        "wakeups": scheduler.wakeups,
-        "operators": {
-            op.name: (op.work_calls, op.tuples_in, op.tuples_out)
-            for op in instance.operators
-        },
-        "channels": {
-            channel.name: channel.counters()
-            for channel in instance.outgoing_channels()
-        },
-        "sinks": {
-            sink.name: {
-                "count": sink.count,
-                "latencies": list(sink.latencies),
-                "events": taps[sink.name].events,
-            }
-            for sink in instance.sinks()
-        },
-        "traversal_times_s": list(getattr(manager, "traversal_times_s", ())),
-    }
-
 
 def _run_worker(instance: SPEInstance, stop_event, result_conn, max_passes: int) -> None:
     """Child-process entry point: drive one instance to quiescence."""
     try:
-        taps = _prepare_sinks(instance)
+        taps = prepare_sinks(instance)
         scheduler = Scheduler(instance, max_passes=max_passes)
         waitable = {}
         for receive in instance.receives():
@@ -173,7 +99,7 @@ def _run_worker(instance: SPEInstance, stop_event, result_conn, max_passes: int)
         if not scheduler.finished:
             result_conn.send(("stopped", {"instance": instance.name}))
             return
-        result_conn.send(("ok", _collect_result(instance, scheduler, passes, taps)))
+        result_conn.send(("ok", collect_result(instance, scheduler, passes, taps)))
     except BaseException as exc:  # noqa: BLE001 - shipped to the coordinator
         try:
             result_conn.send(
@@ -190,38 +116,6 @@ def _run_worker(instance: SPEInstance, stop_event, result_conn, max_passes: int)
             pass
     finally:
         result_conn.close()
-
-
-def _replay_sink(sink: SinkOperator, shipped: Dict) -> None:
-    """Re-enact a worker sink's observed stream on the coordinator-side sink.
-
-    Tuples are deserialised and handed to the sink's original callback and
-    taps in their arrival order, interleaved with the watermark advances and
-    the close exactly as the worker observed them -- so a collector or a
-    ledger fed through the coordinator-side sink sees the same stream it
-    would have seen running in-process.  Latencies are *not* re-measured
-    (replay time is meaningless); the worker's measurements are copied.
-    """
-    keep = sink._keep_tuples
-    callback = sink._callback
-    taps = sink.taps
-    for kind, body in shipped["events"]:
-        if kind == _EVENT_TUPLE:
-            tup, _ = deserialize_tuple(body)
-            if keep:
-                sink.received.append(tup)
-            if callback is not None:
-                callback(tup)
-            for tap in taps:
-                tap.on_tuple(tup)
-        elif kind == _EVENT_WATERMARK:
-            for tap in taps:
-                tap.on_watermark(body)
-        else:  # _EVENT_CLOSE
-            for tap in taps:
-                tap.on_close()
-    sink.count = shipped["count"]
-    sink.latencies = list(shipped["latencies"])
 
 
 class _Worker:
@@ -277,13 +171,7 @@ class MultiprocessRuntime(_RuntimeBase):
         self.workers: List[_Worker] = []
         #: instance name -> shipped result document (after a successful run).
         self.results: Dict[str, Dict] = {}
-        names = [channel.name for channel in self.channels()]
-        duplicated = {name for name in names if names.count(name) > 1}
-        if duplicated:
-            raise SchedulingError(
-                f"channel name(s) {sorted(duplicated)!r} are not unique; the "
-                "multiprocess runtime ships per-channel counters back by name"
-            )
+        require_unique_channel_names(self.channels(), "multiprocess")
         for channel in self.channels():
             if not isinstance(channel.transport, ProcessTransport):
                 raise SchedulingError(
@@ -401,20 +289,7 @@ class MultiprocessRuntime(_RuntimeBase):
             self.results[worker.instance.name] = document
             self.rounds += document["passes"]
             self._wakeups += document["wakeups"]
-            for operator in worker.instance.operators:
-                counters = document["operators"].get(operator.name)
-                if counters is not None:
-                    operator.work_calls, operator.tuples_in, operator.tuples_out = counters
-            for name, (tuples_sent, bytes_sent) in document["channels"].items():
-                channel = by_channel[name]
-                channel.tuples_sent = tuples_sent
-                channel.bytes_sent = bytes_sent
-            for sink in worker.instance.sinks():
-                _replay_sink(sink, document["sinks"][sink.name])
-            manager = _instance_manager(worker.instance)
-            samples = document.get("traversal_times_s") or ()
-            if samples and manager is not None:
-                getattr(manager, "traversal_times_s", []).extend(samples)
+            apply_instance_result(worker.instance, document, by_channel)
 
     # -- introspection ------------------------------------------------------------
     def total_wakeups(self) -> int:

@@ -414,14 +414,17 @@ def query_pipeline(
     fused: bool = True,
     execution: str = "event",
     parallelism: int = 1,
+    hosts=None,
 ) -> Pipeline:
     """A ready-to-run :class:`Pipeline` for query ``name``.
 
     ``deployment`` is ``"intra"`` (single process, deterministic Scheduler)
     or ``"inter"`` (the paper's three-instance DistributedRuntime deployment).
     ``execution`` is ``"event"`` (readiness-driven batch scheduler, default),
-    ``"polling"`` (the legacy whole-graph polling oracle) or ``"process"``
-    (one OS process per SPE instance, inter only).  ``parallelism``
+    ``"polling"`` (the legacy whole-graph polling oracle), ``"process"``
+    (one OS process per SPE instance, inter only) or ``"cluster"`` (worker
+    daemons over TCP, inter only; ``hosts`` places the instances -- see
+    :class:`~repro.spe.cluster.ClusterRuntime`).  ``parallelism``
     shards the keyed stateful stages; inter-process deployments then use
     :func:`query_parallel_placement`, spreading each replica onto its own
     SPE instance.
@@ -442,6 +445,7 @@ def query_pipeline(
         placement=placement,
         fused=fused,
         execution=execution,
+        hosts=hosts,
     )
 
 

@@ -74,6 +74,17 @@ class TestExamples:
         )
         assert "Execution summary:" in out
 
+    def test_cluster_pipeline(self, capsys, monkeypatch):
+        out = run_example(
+            capsys,
+            monkeypatch,
+            "cluster_pipeline.py",
+            ["--cars", "10", "--minutes", "20"],
+        )
+        assert "Cluster run on in-process loopback workers" in out
+        assert "tuples over the sockets" in out
+        assert "Provenance records shipped back" in out
+
     def test_custom_query_provenance(self, capsys, monkeypatch):
         out = run_example(capsys, monkeypatch, "custom_query_provenance.py")
         assert "maintenance alert(s) raised" in out

@@ -14,11 +14,12 @@ import pytest
 from repro.spe.channels import Channel, InMemoryTransport, ProcessTransport
 from repro.spe.errors import ChannelError
 from repro.spe.operators.send_receive import ReceiveOperator, SendOperator
+from repro.spe.sockets import SocketTransport
 from repro.spe.streams import Stream
 from repro.spe.tuples import FINAL_WATERMARK
 from tests.optest import collect, feed, run_operator, tup, wire
 
-TRANSPORTS = (InMemoryTransport, ProcessTransport)
+TRANSPORTS = (InMemoryTransport, ProcessTransport, SocketTransport)
 
 
 @pytest.mark.parametrize("transport_cls", TRANSPORTS, ids=lambda c: c.__name__)

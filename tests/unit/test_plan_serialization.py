@@ -1,0 +1,137 @@
+"""Unit tests of plan serialisation: shipping closures, locks and modules.
+
+Stream pipelines are full of objects the stdlib pickler refuses -- lambdas
+used as map functions, closures over counters, channels holding locks.
+:mod:`repro.spe.plan` must ship all of them to a cluster worker and rebuild
+working equivalents, while keeping importable functions travelling by
+reference (so library code is shared, not duplicated) and refusing plans
+from an incompatible interpreter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import sys
+import threading
+
+import pytest
+
+from repro.spe.errors import SerializationError
+from repro.spe.plan import (
+    PLAN_FORMAT_VERSION,
+    check_plan_version,
+    deserialize_plan,
+    plan_version,
+    serialize_plan,
+)
+
+
+def roundtrip(obj):
+    return deserialize_plan(serialize_plan(obj))
+
+
+def module_level_helper(x):
+    return x + 1
+
+
+class TestByValueFunctions:
+    def test_lambda(self):
+        double = roundtrip(lambda x: x * 2)
+        assert double(21) == 42
+
+    def test_closure_with_state(self):
+        def make():
+            counter = itertools.count(7)
+
+            def wall():
+                return next(counter)
+
+            return wall
+
+        wall = roundtrip(make())
+        assert (wall(), wall(), wall()) == (7, 8, 9)
+
+    def test_recursive_closure(self):
+        def make():
+            def fact(n):
+                return 1 if n <= 1 else n * fact(n - 1)
+
+            return fact
+
+        assert roundtrip(make())(5) == 120
+
+    def test_closure_capturing_a_module(self):
+        def make():
+            def dump(value):
+                return json.dumps(value, sort_keys=True)
+
+            return dump
+
+        assert roundtrip(make())({"b": 1, "a": 2}) == '{"a": 2, "b": 1}'
+
+    def test_defaults_and_kwdefaults_survive(self):
+        base = 10
+        clone = roundtrip(lambda x, scale=3, *, offset=base: x * scale + offset)
+        assert clone(2) == 16
+        assert clone(2, scale=1, offset=0) == 2
+
+    def test_nested_function_globals_are_collected(self):
+        # the outer lambda never names the global itself; only the function
+        # it *builds* does -- globals must be collected over nested code.
+        def make():
+            def outer():
+                def inner(v):
+                    return module_level_helper(v)
+
+                return inner
+
+            return outer
+
+        assert roundtrip(make())()(41) == 42
+
+
+class TestByReferenceFunctions:
+    def test_importable_function_keeps_identity(self):
+        assert roundtrip(json.dumps) is json.dumps
+        assert roundtrip(module_level_helper) is module_level_helper
+
+
+class TestAwkwardObjects:
+    def test_locks_are_replaced_with_fresh_ones(self):
+        lock = threading.Lock()
+        lock.acquire()
+        clone = roundtrip(lock)
+        assert isinstance(clone, type(threading.Lock()))
+        assert clone.acquire(blocking=False)  # fresh, not the held one
+
+    def test_rlocks_are_replaced(self):
+        clone = roundtrip(threading.RLock())
+        assert clone.acquire(blocking=False)
+        clone.release()
+
+    def test_modules_ship_as_imports(self):
+        assert roundtrip(json) is json
+
+    def test_generator_objects_raise(self):
+        with pytest.raises(SerializationError, match="cannot serialise"):
+            serialize_plan((x for x in range(3)))
+
+
+class TestVersionHandshake:
+    def test_current_version_accepted(self):
+        check_plan_version(plan_version())
+
+    def test_python_minor_mismatch_rejected(self):
+        other = [sys.version_info[0], sys.version_info[1] + 1, PLAN_FORMAT_VERSION]
+        with pytest.raises(SerializationError, match="incompatible"):
+            check_plan_version(other)
+
+    def test_format_mismatch_rejected(self):
+        other = [sys.version_info[0], sys.version_info[1], PLAN_FORMAT_VERSION + 1]
+        with pytest.raises(SerializationError, match="incompatible"):
+            check_plan_version(other)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SerializationError, match="incompatible"):
+            check_plan_version(None)

@@ -1,0 +1,237 @@
+"""Unit tests of the TCP frame codec and the socket channel transport.
+
+The generic transport contract (send/receive round trips, monotone
+watermarks, close semantics, Send/Receive operators) already runs against
+:class:`~repro.spe.sockets.SocketTransport` in ``test_channel_transport.py``;
+this file covers what is *specific* to the wire:
+
+* the length-prefixed frame codec under arbitrary fragmentation -- partial
+  reads, many frames per read, torn tails, oversized declared lengths --
+  including a property-based fuzz over random payloads and chunkings,
+* the message layer (empty batches, unknown tags, malformed frames),
+* EOF semantics: a producer socket dying *before* the close marker is a
+  :class:`~repro.spe.errors.ChannelError` naming the channel (the cluster
+  fail-fast trigger), while EOF *after* the close is a normal end,
+* bounded-retry connects that name the unreachable ``host:port``.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spe.channels import Channel
+from repro.spe.errors import ChannelError, SerializationError
+from repro.spe.plan import deserialize_plan, serialize_plan
+from repro.spe.sockets import (
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    SocketTransport,
+    connect_with_retry,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+from repro.spe.tuples import FINAL_WATERMARK
+
+
+class TestFrameCodec:
+    def test_round_trip_one_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"hello")) == [b"hello"]
+        assert decoder.pending_bytes == 0
+
+    def test_empty_payload_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_byte_at_a_time_reassembly(self):
+        decoder = FrameDecoder()
+        wire = encode_frame(b"abc") + encode_frame(b"") + encode_frame(b"xyzzy")
+        frames = []
+        for index in range(len(wire)):
+            frames.extend(decoder.feed(wire[index : index + 1]))
+        assert frames == [b"abc", b"", b"xyzzy"]
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_feed(self):
+        decoder = FrameDecoder()
+        payloads = [b"a", b"bb", b"", b"dddd"]
+        wire = b"".join(encode_frame(p) for p in payloads)
+        assert decoder.feed(wire) == payloads
+
+    def test_torn_tail_stays_pending(self):
+        decoder = FrameDecoder()
+        wire = encode_frame(b"complete") + encode_frame(b"torn")[:-2]
+        assert decoder.feed(wire) == [b"complete"]
+        assert decoder.pending_bytes > 0
+        # the remainder completes it
+        assert decoder.feed(encode_frame(b"torn")[-2:]) == [b"torn"]
+        assert decoder.pending_bytes == 0
+
+    def test_oversized_declared_length_raises(self):
+        decoder = FrameDecoder()
+        header = FRAME_HEADER.pack(MAX_FRAME_BYTES + 1)
+        with pytest.raises(SerializationError, match="beyond the"):
+            decoder.feed(header)
+
+    def test_oversized_payload_refused_on_encode(self):
+        class _HugeLen(bytes):
+            def __len__(self):
+                return MAX_FRAME_BYTES + 1
+
+        with pytest.raises(SerializationError, match="exceeds"):
+            encode_frame(_HugeLen())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        payloads=st.lists(st.binary(max_size=200), max_size=12),
+        chunk_sizes=st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=40),
+    )
+    def test_fuzz_any_fragmentation_reassembles(self, payloads, chunk_sizes):
+        wire = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        frames = []
+        position = 0
+        chunk_index = 0
+        while position < len(wire):
+            size = chunk_sizes[chunk_index % len(chunk_sizes)]
+            chunk_index += 1
+            frames.extend(decoder.feed(wire[position : position + size]))
+            position += size
+        assert frames == payloads
+        assert decoder.pending_bytes == 0
+
+
+class TestMessageCodec:
+    def test_message_round_trip(self):
+        decoder = FrameDecoder()
+        (frame,) = decoder.feed(encode_message("d", ["p1", "p2"]))
+        assert decode_message(frame) == ("d", ["p1", "p2"])
+
+    def test_malformed_message_raises(self):
+        with pytest.raises(SerializationError, match="decode"):
+            decode_message(b"\xff\xfe not json")
+        with pytest.raises(SerializationError, match="tag, body"):
+            decode_message(b'{"not": "a pair"}')
+
+    def test_unserialisable_body_raises(self):
+        with pytest.raises(SerializationError, match="cannot encode"):
+            encode_message("d", object())
+
+
+def _wired_pair(name="c"):
+    """A consumer-side transport fed by a raw producer socket we control."""
+    producer, consumer = socket.socketpair()
+    transport = SocketTransport(name)
+    transport.attach_consumer(consumer)
+    return producer, transport
+
+
+class TestSocketTransportEOF:
+    def test_eof_before_close_marker_raises_naming_the_channel(self):
+        producer, transport = _wired_pair("lost_link")
+        producer.sendall(encode_message("d", ["payload"]))
+        producer.close()
+        with pytest.raises(ChannelError, match="lost_link.*worker died"):
+            transport.receive_all()
+
+    def test_eof_with_torn_frame_reports_torn_bytes(self):
+        producer, transport = _wired_pair("torn_link")
+        producer.sendall(encode_frame(b"x" * 10)[:-3])
+        producer.close()
+        with pytest.raises(ChannelError, match="torn trailing byte"):
+            transport.receive_all()
+
+    def test_eof_after_close_marker_is_a_normal_end(self):
+        producer, transport = _wired_pair()
+        producer.sendall(encode_message("d", ["last"]))
+        producer.sendall(encode_message("w", 9.0))
+        producer.sendall(encode_message("c", None))
+        producer.close()
+        assert transport.receive_all() == ["last"]
+        assert transport.closed
+        assert transport.watermark == FINAL_WATERMARK
+        # further reads after the clean EOF stay benign
+        assert transport.receive_all() == []
+
+    def test_empty_batch_frame_delivers_nothing(self):
+        producer, transport = _wired_pair()
+        producer.sendall(encode_message("d", []))
+        producer.sendall(encode_message("c", None))
+        assert transport.receive_all() == []
+        assert transport.closed
+
+    def test_unknown_tag_on_the_wire_raises(self):
+        producer, transport = _wired_pair("odd")
+        producer.sendall(encode_message("z", None))
+        with pytest.raises(SerializationError, match="unknown message tag"):
+            transport.receive_all()
+
+    def test_send_into_a_dead_peer_raises(self):
+        producer_sock, consumer_sock = socket.socketpair()
+        transport = SocketTransport("dead_peer")
+        transport.attach_producer(producer_sock)
+        consumer_sock.close()
+        with pytest.raises(ChannelError, match="dead_peer"):
+            # the first send may land in the kernel buffer before the RST
+            # comes back; the second is guaranteed to fail.
+            for _ in range(50):
+                transport.send("x" * 4096)
+
+
+class TestSocketTransportShipping:
+    def test_detached_transport_pickles_and_revives(self):
+        channel = Channel("c1", transport=SocketTransport("c1"))
+        clone = deserialize_plan(serialize_plan(channel))
+        assert isinstance(clone.transport, SocketTransport)
+        assert clone.transport.name == "c1"
+        # the revived transport is fully detached and usable via loopback
+        clone.send("p")
+        assert clone.receive_all() == ["p"]
+
+    def test_attached_transport_refuses_to_pickle(self):
+        transport = SocketTransport("c2")
+        producer, consumer = socket.socketpair()
+        transport.attach_producer(producer)
+        try:
+            with pytest.raises(SerializationError, match="live sockets"):
+                serialize_plan(transport)
+        finally:
+            producer.close()
+            consumer.close()
+
+    def test_double_attach_refused(self):
+        transport = SocketTransport("c3")
+        a, b = socket.socketpair()
+        try:
+            transport.attach_producer(a)
+            with pytest.raises(ChannelError, match="already has a producer"):
+                transport.attach_producer(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestConnectWithRetry:
+    def test_unreachable_endpoint_names_host_and_port(self):
+        # a port from the discard range with nothing listening: connection
+        # refused immediately, so two retries stay fast.
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        listener.close()  # now guaranteed closed -> refused
+        with pytest.raises(ChannelError, match=f"127.0.0.1:{port}"):
+            connect_with_retry("127.0.0.1", port, retries=2, backoff_s=0.01)
+
+    def test_successful_connect_returns_a_live_socket(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        try:
+            sock = connect_with_retry("127.0.0.1", port, retries=3, backoff_s=0.01)
+            sock.close()
+        finally:
+            listener.close()
