@@ -42,6 +42,12 @@ It records the coordinator/worker protocol + socket dataplane cost next to
 the pipe-backed numbers, plus the actual wire traffic (tuples and bytes
 over the sockets) per run.
 
+A **serialization** section compares the wire formats on the
+provenance-heavy q1 GL inter cell: full-cell runs per codec (JSON vs the
+:mod:`repro.spe.codec` binary batch format) with the measured wire
+bytes/tuple, plus a pure encode+decode microbench whose binary-over-JSON
+speedup is gated at :data:`MIN_CODEC_SPEEDUP` by ``--check-against``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_report.py                 # small scale
@@ -84,6 +90,13 @@ from repro.workloads.smart_grid import SmartGridGenerator  # noqa: E402
 
 #: the seed's source batch size (before the event-driven engine raised it).
 SEED_SOURCE_BATCH = 64
+
+#: the binary wire codec must beat the JSON format by at least this factor on
+#: the codec microbench (pure encode+decode round trips of q1 GL traffic).
+#: The microbench -- not the e2e cell -- carries the gate because the ratio
+#: of two same-machine codec runs is stable, while the e2e cell dilutes the
+#: codec with engine/scheduler time.
+MIN_CODEC_SPEEDUP = 1.5
 
 MODES = (ProvenanceMode.NONE, ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE)
 DEPLOYMENTS = ("intra", "inter")
@@ -422,12 +435,137 @@ def measure_cluster_scaling(scale: WorkloadScale, repeats: int) -> Dict:
     }
 
 
+def measure_serialization(tuples, repeats: int) -> Dict:
+    """q1 GL inter under the JSON wire format vs the binary batch codec.
+
+    Two measurements per codec:
+
+    * **e2e** -- the full cell run, with the actual wire traffic
+      (bytes per cross-boundary tuple) from the channel counters;
+    * **codec microbench** -- pure encode+decode round trips of the cell's
+      source tuples carrying GeneaLog-shaped provenance payloads, isolating
+      the serialisation cost from engine/scheduler time.
+
+    ``--check-against`` gates on the microbench speedup: binary must stay at
+    least :data:`MIN_CODEC_SPEEDUP` times faster than JSON.
+    """
+    from repro.spe.codec import BinaryChannelDecoder, BinaryChannelEncoder
+    from repro.spe.serialization import deserialize_tuple, serialize_tuple
+
+    e2e = {}
+    for codec in ("json", "binary"):
+        best_seconds = float("inf")
+        best_result = None
+        for _ in range(repeats):
+            supplier = [t.copy() for t in tuples]
+            pipeline = query_pipeline(
+                "q1",
+                supplier,
+                mode=ProvenanceMode.GENEALOG,
+                deployment="inter",
+                codec=codec,
+            )
+            result = pipeline.build()
+            started = time.perf_counter()
+            pipeline.run()
+            seconds = time.perf_counter() - started
+            if seconds < best_seconds:
+                best_seconds = seconds
+                best_result = result
+        wire_tuples = best_result.tuples_transferred()
+        wire_bytes = best_result.bytes_transferred()
+        e2e[codec] = {
+            "seconds": round(best_seconds, 6),
+            "tuples_per_second": round(len(tuples) / best_seconds, 1),
+            "wire_tuples": wire_tuples,
+            "wire_bytes": wire_bytes,
+            "bytes_per_tuple": (
+                round(wire_bytes / wire_tuples, 1) if wire_tuples else 0.0
+            ),
+        }
+
+    # Codec microbench: wire-sized batches of the cell's source tuples with
+    # GeneaLog-shaped payloads ({"type": ..., "id": "<node>:<counter>"}).
+    batch_size = 256
+    payloads = [{"type": "SOURCE", "id": f"bench:{i}"} for i in range(len(tuples))]
+    batches = [
+        (tuples[i : i + batch_size], payloads[i : i + batch_size])
+        for i in range(0, len(tuples), batch_size)
+    ]
+    micro = {}
+    for codec in ("json", "binary"):
+        best_seconds = float("inf")
+        encoded_bytes = 0
+        for _ in range(repeats):
+            # fresh codec state per pass so every pass pays the same
+            # dictionary warm-up the first batch of a stream pays.
+            encoder = BinaryChannelEncoder("bench")
+            decoder = BinaryChannelDecoder("bench")
+            encoded = 0
+            started = time.perf_counter()
+            if codec == "json":
+                for batch, batch_payloads in batches:
+                    docs = [
+                        serialize_tuple(tup, payload, channel="bench")
+                        for tup, payload in zip(batch, batch_payloads)
+                    ]
+                    encoded += sum(len(doc) for doc in docs)
+                    for doc in docs:
+                        deserialize_tuple(doc, channel="bench")
+            else:
+                for batch, batch_payloads in batches:
+                    blob = encoder.encode_batch(batch, batch_payloads)
+                    encoded += len(blob)
+                    decoder.decode_batch(blob)
+            seconds = time.perf_counter() - started
+            if seconds < best_seconds:
+                best_seconds = seconds
+                encoded_bytes = encoded
+        micro[codec] = {
+            "seconds": round(best_seconds, 6),
+            "tuples_per_second": round(len(tuples) / best_seconds, 1),
+            "bytes_per_tuple": round(encoded_bytes / len(tuples), 1),
+        }
+    micro["speedup"] = round(
+        micro["binary"]["tuples_per_second"] / micro["json"]["tuples_per_second"], 3
+    )
+    e2e_speedup = round(
+        e2e["binary"]["tuples_per_second"] / e2e["json"]["tuples_per_second"], 3
+    )
+    row = {
+        "cell": "q1/GL/inter",
+        "note": (
+            "Wire-format comparison on the provenance-heavy inter cell: "
+            "e2e legs run the whole pipeline per codec (bytes_per_tuple is "
+            "actual channel traffic); codec_microbench is pure encode+decode "
+            "round trips of the same tuples with GeneaLog-shaped payloads. "
+            "The --check-against gate holds codec_microbench.speedup at "
+            ">= min_codec_speedup (the e2e ratio dilutes the codec with "
+            "engine time and both codecs share the batched dataplane)."
+        ),
+        "e2e": e2e,
+        "e2e_speedup": e2e_speedup,
+        "codec_microbench": micro,
+        "min_codec_speedup": MIN_CODEC_SPEEDUP,
+    }
+    print(
+        f"q1 GL inter serialization: e2e json "
+        f"{e2e['json']['tuples_per_second']:>12,.0f} -> binary "
+        f"{e2e['binary']['tuples_per_second']:>12,.0f} tps "
+        f"({e2e_speedup:.2f}x), wire {e2e['json']['bytes_per_tuple']:.0f} -> "
+        f"{e2e['binary']['bytes_per_tuple']:.0f} bytes/tuple; codec "
+        f"microbench {micro['speedup']:.2f}x"
+    )
+    return row
+
+
 def build_report(scale: WorkloadScale, repeats: int) -> Dict:
     cells = []
     parallel_scaling = None
     provenance_store = None
     multiprocess_scaling = None
     cluster_scaling = None
+    serialization = None
     for query_name in QUERY_NAMES:
         tuples = materialise_workload(query_name, scale)
         if query_name == "q1":
@@ -435,6 +573,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
             provenance_store = measure_provenance_store(tuples, repeats)
             multiprocess_scaling = measure_multiprocess_scaling(scale, repeats)
             cluster_scaling = measure_cluster_scaling(scale, repeats)
+            serialization = measure_serialization(tuples, repeats)
         for deployment in DEPLOYMENTS:
             for mode in MODES:
                 cell = measure_cell(query_name, tuples, mode, deployment, repeats)
@@ -486,6 +625,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
         "provenance_store": provenance_store,
         "multiprocess_scaling": multiprocess_scaling,
         "cluster_scaling": cluster_scaling,
+        "serialization": serialization,
         "cells": cells,
     }
 
@@ -531,6 +671,27 @@ def check_against(report: Dict, baseline: Dict, tolerance: float) -> int:
         status = 1
     else:
         print("OK: wake-up ratio within bounds (deterministic check)")
+
+    # Wire-codec gate: the binary codec must stay MIN_CODEC_SPEEDUP x faster
+    # than JSON on the q1 GL microbench.  A same-machine codec/codec ratio,
+    # so no tolerance padding: both legs see identical timing conditions.
+    serialization = report.get("serialization")
+    if serialization and "codec_microbench" in serialization:
+        codec_speedup = serialization["codec_microbench"]["speedup"]
+        codec_floor = serialization.get("min_codec_speedup", MIN_CODEC_SPEEDUP)
+        print(
+            f"q1/GL wire codec: binary {codec_speedup:.2f}x JSON on the "
+            f"encode+decode microbench, floor {codec_floor:.2f}x"
+        )
+        if codec_speedup < codec_floor:
+            print(
+                "FAIL: the binary wire codec no longer beats JSON by the "
+                "required factor",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("OK: binary codec advantage holds")
     return status
 
 

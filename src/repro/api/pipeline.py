@@ -42,6 +42,7 @@ from repro.provstore.backends import JsonlLedgerBackend
 from repro.provstore.ledger import ProvenanceLedger
 from repro.provstore.tap import LedgerTap
 from repro.spe.channels import Channel, ProcessTransport
+from repro.spe.codec import check_codec
 from repro.spe.cluster import ClusterRuntime
 from repro.spe.instance import SPEInstance
 from repro.spe.metrics import (
@@ -300,7 +301,10 @@ class Pipeline:
     :class:`~repro.spe.multiprocess.MultiprocessRuntime`), and ``"cluster"``
     ships each SPE instance to a worker daemon over TCP with socket-backed
     channels (requires a placement; ``hosts`` places the instances -- see
-    :class:`~repro.spe.cluster.ClusterRuntime`).
+    :class:`~repro.spe.cluster.ClusterRuntime`).  ``codec`` picks the wire
+    format of the inter-instance channels: ``"binary"`` (default, the
+    batched :mod:`repro.spe.codec` format) or ``"json"`` (the seed's
+    per-tuple documents, kept for compatibility and debugging).
     """
 
     def __init__(
@@ -314,6 +318,7 @@ class Pipeline:
         execution: str = "event",
         provenance_store: Union[ProvenanceLedger, str, None] = None,
         hosts=None,
+        codec: str = "binary",
     ) -> None:
         if execution not in ("event", "polling", "process", "cluster"):
             raise DataflowError(
@@ -339,6 +344,7 @@ class Pipeline:
         self.keep_unfolded_tuples = keep_unfolded_tuples
         self.execution = execution
         self.hosts = hosts
+        self.codec = check_codec(codec)
         self.store = self._resolve_store(provenance_store)
         self._result: Optional[PipelineResult] = None
 
@@ -423,19 +429,21 @@ class Pipeline:
         )
 
     def _build_inter(self) -> PipelineResult:
+        codec = self.codec
         if self.execution == "process":
             # Channels must be pipe-backed before the workers fork: each
             # transport is one multiprocessing pipe carrying the serialised
             # payloads across the process boundary.
             def channel_factory(name: str) -> Channel:
-                return Channel(name, transport=ProcessTransport())
+                return Channel(name, transport=ProcessTransport(), codec=codec)
         elif self.execution == "cluster":
             # Socket transports start detached; the cluster wiring attaches
             # the producer and consumer sockets on the workers' hosts.
             def channel_factory(name: str) -> Channel:
-                return Channel(name, transport=SocketTransport(name))
+                return Channel(name, transport=SocketTransport(name), codec=codec)
         else:
-            channel_factory = Channel
+            def channel_factory(name: str) -> Channel:
+                return Channel(name, codec=codec)
         builder = _DistributedBuilder(
             self.dataflow,
             self.placement,
@@ -752,8 +760,11 @@ class _DistributedBuilder:
         for instance, send, label in self._cut_sends:
             unfolded_out = self._splice_su_before(instance, send, f"su_{label}")
             upstream_channel = self._channel(f"upstream_{label}")
+            # Unfolded tuples carry their provenance in their attributes
+            # (sink_id / id_o / type_o); the MU and the ledger never read the
+            # re-attached wire metadata, so skip the per-tuple payload.
             upstream_send = instance.add_send(
-                f"send_upstream_{label}", upstream_channel
+                f"send_upstream_{label}", upstream_channel, ship_provenance=False
             )
             instance.connect(unfolded_out, upstream_send)
             self._upstream_channels.append(upstream_channel)
@@ -766,7 +777,9 @@ class _DistributedBuilder:
         instance = self._owning(sink)
         unfolded_out = self._splice_su_before(instance, sink, f"su_{sink.name}")
         self._derived_channel = self._channel("derived")
-        derived_send = instance.add_send("send_derived", self._derived_channel)
+        derived_send = instance.add_send(
+            "send_derived", self._derived_channel, ship_provenance=False
+        )
         instance.connect(unfolded_out, derived_send)
 
     # -- baseline splicing ----------------------------------------------------------

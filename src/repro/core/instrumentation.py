@@ -32,6 +32,17 @@ from repro.spe.provenance_api import ProvenanceManager
 from repro.spe.tuples import StreamTuple
 
 
+#: plain-dict views of the :class:`TupleType` enum for the per-tuple wire
+#: hooks: member/value lookups through the enum machinery cost a property
+#: descriptor call each, which is measurable at channel rates.
+_TYPE_BY_VALUE = {member.value: member for member in TupleType}
+_SOURCE = TupleType.SOURCE
+_MULTIPLEX = TupleType.MULTIPLEX
+_SOURCE_VALUE = TupleType.SOURCE.value
+_REMOTE_VALUE = TupleType.REMOTE.value
+_REMOTE = TupleType.REMOTE
+
+
 class GeneaLogProvenance(ProvenanceManager):
     """GeneaLog instrumentation: fixed-size metadata, pointer-based linking.
 
@@ -71,11 +82,11 @@ class GeneaLogProvenance(ProvenanceManager):
         # interchangeable with the fused SU: the copy fed to the Send/Sink
         # and the copy fed to the unfolding Map report the same id.
         meta = require_meta(tup)
-        while meta.type is TupleType.MULTIPLEX and meta.u1 is not None:
+        while meta.type is _MULTIPLEX and meta.u1 is not None:
             tup = meta.u1
             meta = require_meta(tup)
         if meta.tuple_id is None:
-            meta.tuple_id = self._new_id()
+            meta.tuple_id = f"{self.node_id}:{next(self._id_counter)}"
         return meta.tuple_id
 
     # -- instrumented creation hooks -------------------------------------------
@@ -128,19 +139,36 @@ class GeneaLogProvenance(ProvenanceManager):
             return
         earliest = window[0]
         latest = window[-1]
-        for current, following in zip(window, window[1:]):
-            require_meta(current).n = following
+        # N-chain the window in place; ``require_meta`` inlined (this loop
+        # runs once per window tuple per flush, the call adds up).
+        it = iter(window)
+        current = next(it)
+        for following in it:
+            meta = current.meta
+            if meta is None:
+                meta = current.meta = GeneaLogMeta(_SOURCE)
+            meta.n = following
+            current = following
         require_meta(latest)
         out_tuple.meta = GeneaLogMeta(TupleType.AGGREGATE, u1=latest, u2=earliest)
 
     # -- process boundary hooks ---------------------------------------------------
     def on_send(self, tup: StreamTuple) -> Dict[str, Any]:
         meta = require_meta(tup)
-        sent_type = TupleType.SOURCE if meta.type is TupleType.SOURCE else TupleType.REMOTE
-        return {"type": sent_type.value, "id": self.tuple_id(tup)}
+        # inlined :meth:`tuple_id` (this is the per-crossing hot path):
+        # resolve Multiplex copies to their input, assign the lazy id.
+        while meta.type is _MULTIPLEX and meta.u1 is not None:
+            meta = require_meta(meta.u1)
+        tuple_id = meta.tuple_id
+        if tuple_id is None:
+            tuple_id = meta.tuple_id = f"{self.node_id}:{next(self._id_counter)}"
+        return {
+            "type": _SOURCE_VALUE if meta.type is _SOURCE else _REMOTE_VALUE,
+            "id": tuple_id,
+        }
 
     def on_receive(self, tup: StreamTuple, payload: Dict[str, Any]) -> None:
-        tuple_type = TupleType(payload.get("type", TupleType.REMOTE.value))
+        tuple_type = _TYPE_BY_VALUE.get(payload.get("type"), _REMOTE)
         tup.meta = GeneaLogMeta(tuple_type, tuple_id=payload.get("id"))
 
     # -- provenance retrieval --------------------------------------------------------

@@ -45,22 +45,42 @@ from repro.spe.query import Query
 from repro.spe.tuples import StreamTuple
 
 
+#: enum value aliases for the per-tuple matching below.
+_SOURCE_VALUE = TupleType.SOURCE.value
+_REMOTE_VALUE = TupleType.REMOTE.value
+
+#: schema tuple -> (sink-part keys, origin-part keys): the ``sink_`` /
+#: origin partition of an unfolded schema, computed once per schema instead
+#: of re-scanning every key of every matched tuple.
+_PART_KEYS: Dict[Tuple[str, ...], Tuple[Tuple[str, ...], Tuple[str, ...]]] = {}
+
+
+def _part_keys(keys: Tuple[str, ...]) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    split = _PART_KEYS.get(keys)
+    if split is None:
+        if len(_PART_KEYS) > 1024:  # degenerate dynamic schemas
+            _PART_KEYS.clear()
+        split = _PART_KEYS[keys] = (
+            tuple(
+                key
+                for key in keys
+                if key.startswith(SINK_PREFIX) or key in (SINK_TS_FIELD, SINK_ID_FIELD)
+            ),
+            tuple(key for key in keys if not key.startswith(SINK_PREFIX)),
+        )
+    return split
+
+
 def _sink_part(tup: StreamTuple) -> Dict[str, Any]:
     """The attributes describing the (local) sink tuple of an unfolded tuple."""
-    return {
-        key: value
-        for key, value in tup.values.items()
-        if key.startswith(SINK_PREFIX) or key in (SINK_TS_FIELD, SINK_ID_FIELD)
-    }
+    values = tup.values
+    return {key: values[key] for key in _part_keys(tuple(values))[0]}
 
 
 def _origin_part(tup: StreamTuple) -> Dict[str, Any]:
     """The attributes describing the originating tuple of an unfolded tuple."""
-    return {
-        key: value
-        for key, value in tup.values.items()
-        if not key.startswith(SINK_PREFIX)
-    }
+    values = tup.values
+    return {key: values[key] for key in _part_keys(tuple(values))[1]}
 
 
 def combine_derived_and_upstream(
@@ -115,20 +135,22 @@ class MUOperator(MultiInputOperator):
             self._process_upstream(tup)
 
     def _process_derived(self, derived: StreamTuple) -> None:
-        if derived.get(ORIGIN_TYPE_FIELD) == TupleType.SOURCE.value:
+        values = derived.values
+        if values.get(ORIGIN_TYPE_FIELD) == _SOURCE_VALUE:
             self.emit(derived)
             return
-        origin_id = derived.get(ORIGIN_ID_FIELD)
+        origin_id = values.get(ORIGIN_ID_FIELD)
         for upstream in self._upstream_by_id.get(origin_id, ()):  # already received
             self._emit_combined(derived, upstream)
         self._derived_by_origin.setdefault(origin_id, []).append(derived)
         self._derived_order.append(derived)
 
     def _process_upstream(self, upstream: StreamTuple) -> None:
-        sink_id = upstream.get(SINK_ID_FIELD)
+        values = upstream.values
+        sink_id = values.get(SINK_ID_FIELD)
         if (
-            sink_id == upstream.get(ORIGIN_ID_FIELD)
-            and upstream.get(ORIGIN_TYPE_FIELD) == TupleType.REMOTE.value
+            sink_id == values.get(ORIGIN_ID_FIELD)
+            and values.get(ORIGIN_TYPE_FIELD) == _REMOTE_VALUE
         ):
             # REMOTE identity record: a boundary SU unfolded a tuple that
             # merely *passed through* its instance (Receive -> forwarding
@@ -139,7 +161,7 @@ class MUOperator(MultiInputOperator):
             # (SOURCE identity records, by contrast, are kept: they terminate
             # a chain by delivering the originating source tuple's payload.)
             return
-        pair = (sink_id, upstream.get(ORIGIN_ID_FIELD))
+        pair = (sink_id, values.get(ORIGIN_ID_FIELD))
         if pair in self._upstream_pairs:
             return
         self._upstream_pairs.add(pair)
@@ -156,7 +178,7 @@ class MUOperator(MultiInputOperator):
         out.wall = max(derived.wall, upstream.wall)
         newer, older = (derived, upstream) if derived.ts >= upstream.ts else (upstream, derived)
         self.provenance.on_join_output(out, newer, older)
-        if out.get(ORIGIN_TYPE_FIELD) != TupleType.SOURCE.value:
+        if out.values.get(ORIGIN_TYPE_FIELD) != _SOURCE_VALUE:
             # The upstream unfolding itself crossed a process boundary
             # (chained boundaries): the combined tuple still references a
             # REMOTE originating tuple, so it becomes a derived tuple again

@@ -112,31 +112,42 @@ class ProvenanceCollector:
         self._records: Dict[Any, ProvenanceRecord] = {}
         self.unfolded_tuples = 0
 
+    #: schema tuple -> (sink (key, stripped-key) pairs, source keys): the
+    #: ``sink_`` / source partition of an unfolded schema, computed once per
+    #: schema instead of re-scanning every key of every unfolded tuple.
+    _SPLIT_CACHE: Dict[Any, Any] = {}
+
     def add(self, unfolded: StreamTuple) -> None:
         """Consume one unfolded tuple (one sink tuple / source tuple pair)."""
         self.unfolded_tuples += 1
-        sink_key = unfolded.get(SINK_ID_FIELD)
+        values = unfolded.values
+        keys = tuple(values)
+        split = self._SPLIT_CACHE.get(keys)
+        if split is None:
+            if len(self._SPLIT_CACHE) > 1024:  # degenerate dynamic schemas
+                self._SPLIT_CACHE.clear()
+            split = self._SPLIT_CACHE[keys] = (
+                tuple(
+                    (key, key[len(SINK_PREFIX):])
+                    for key in keys
+                    if key.startswith(SINK_PREFIX)
+                    and key not in (SINK_TS_FIELD, SINK_ID_FIELD)
+                ),
+                tuple(key for key in keys if not key.startswith(SINK_PREFIX)),
+            )
+        sink_pairs, source_keys = split
+        sink_key = values.get(SINK_ID_FIELD)
         if sink_key is None:
-            sink_key = (unfolded.get(SINK_TS_FIELD), id(unfolded))
+            sink_key = (values.get(SINK_TS_FIELD), id(unfolded))
         record = self._records.get(sink_key)
         if record is None:
-            sink_values = {
-                key[len(SINK_PREFIX):]: value
-                for key, value in unfolded.values.items()
-                if key.startswith(SINK_PREFIX) and key not in (SINK_TS_FIELD, SINK_ID_FIELD)
-            }
             record = ProvenanceRecord(
-                sink_ts=unfolded.get(SINK_TS_FIELD, unfolded.ts),
-                sink_id=unfolded.get(SINK_ID_FIELD),
-                sink_values=sink_values,
+                sink_ts=values.get(SINK_TS_FIELD, unfolded.ts),
+                sink_id=values.get(SINK_ID_FIELD),
+                sink_values={short: values[key] for key, short in sink_pairs},
             )
             self._records[sink_key] = record
-        source_entry = {
-            key: value
-            for key, value in unfolded.values.items()
-            if not key.startswith(SINK_PREFIX)
-        }
-        record.sources.append(source_entry)
+        record.sources.append({key: values[key] for key in source_keys})
 
     def records(self) -> List[ProvenanceRecord]:
         """Every provenance record collected so far (one per sink tuple)."""

@@ -12,9 +12,18 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.meta import require_meta
+from repro.core.meta import GeneaLogMeta, require_meta
 from repro.core.types import TupleType
 from repro.spe.tuples import StreamTuple
+
+#: module-level member aliases: the BFS below runs once per unfolded tuple
+#: and identity checks beat the str-enum ``==`` of ``in (...)`` membership.
+_SOURCE = TupleType.SOURCE
+_REMOTE = TupleType.REMOTE
+_MAP = TupleType.MAP
+_MULTIPLEX = TupleType.MULTIPLEX
+_JOIN = TupleType.JOIN
+_AGGREGATE = TupleType.AGGREGATE
 
 
 def find_provenance(root: StreamTuple) -> List[StreamTuple]:
@@ -29,25 +38,47 @@ def find_provenance(root: StreamTuple) -> List[StreamTuple]:
     result: List[StreamTuple] = []
     visited: Set[int] = {id(root)}
     queue: deque = deque([root])
+    pop = queue.popleft
+    push = queue.append
+    seen = visited.add
+    found = result.append
     while queue:
-        tup = queue.popleft()
-        meta = require_meta(tup)
+        tup = pop()
+        meta = tup.meta
+        if meta is None:
+            meta = tup.meta = GeneaLogMeta(_SOURCE)
         tuple_type = meta.type
-        if tuple_type in (TupleType.SOURCE, TupleType.REMOTE):
-            result.append(tup)
-        elif tuple_type in (TupleType.MAP, TupleType.MULTIPLEX):
-            _enqueue_if_not_visited(meta.u1, queue, visited)
-        elif tuple_type is TupleType.JOIN:
-            _enqueue_if_not_visited(meta.u1, queue, visited)
-            _enqueue_if_not_visited(meta.u2, queue, visited)
-        elif tuple_type is TupleType.AGGREGATE:
-            _enqueue_if_not_visited(meta.u2, queue, visited)
-            current = meta.u2.meta.n if meta.u2 is not None and meta.u2.meta else None
-            while current is not None and current is not meta.u1:
-                _enqueue_if_not_visited(current, queue, visited)
-                current_meta = require_meta(current)
-                current = current_meta.n
-            _enqueue_if_not_visited(meta.u1, queue, visited)
+        if tuple_type is _SOURCE or tuple_type is _REMOTE:
+            found(tup)
+        elif tuple_type is _MAP or tuple_type is _MULTIPLEX:
+            u1 = meta.u1
+            if u1 is not None and id(u1) not in visited:
+                seen(id(u1))
+                push(u1)
+        elif tuple_type is _JOIN:
+            u1 = meta.u1
+            if u1 is not None and id(u1) not in visited:
+                seen(id(u1))
+                push(u1)
+            u2 = meta.u2
+            if u2 is not None and id(u2) not in visited:
+                seen(id(u2))
+                push(u2)
+        elif tuple_type is _AGGREGATE:
+            u1 = meta.u1
+            u2 = meta.u2
+            if u2 is not None and id(u2) not in visited:
+                seen(id(u2))
+                push(u2)
+            current = u2.meta.n if u2 is not None and u2.meta else None
+            while current is not None and current is not u1:
+                if id(current) not in visited:
+                    seen(id(current))
+                    push(current)
+                current = require_meta(current).n
+            if u1 is not None and id(u1) not in visited:
+                seen(id(u1))
+                push(u1)
         else:  # pragma: no cover - defensive, every enum member handled above
             raise ValueError(f"unknown tuple type {tuple_type!r}")
     return result

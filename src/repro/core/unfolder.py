@@ -34,12 +34,57 @@ ORIGIN_TYPE_FIELD = "type_o"
 SINK_PREFIX = "sink_"
 
 
+#: enum-member -> value string, bypassing the DynamicClassAttribute property
+#: (one descriptor call per unfolded tuple adds up at provenance rates).
+_TYPE_VALUE = {member: member.value for member in TupleType}
+_SOURCE_VALUE = TupleType.SOURCE.value
+
+#: schema tuple -> ``sink_``-prefixed schema tuple.  Unfolded tuples are
+#: produced once per sink tuple / source tuple pair, and re-prefixing the
+#: same handful of schemas each time is pure overhead.
+_PREFIXED_KEYS: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
+
+
 def origin_type_name(origin: StreamTuple) -> str:
     """The type (SOURCE or REMOTE) of an originating tuple, as a string."""
     meta = get_meta(origin)
     if meta is None:
-        return TupleType.SOURCE.value
-    return meta.type.value
+        return _SOURCE_VALUE
+    return _TYPE_VALUE[meta.type]
+
+
+def _sink_base_values(
+    unfolded_of: StreamTuple, manager: ProvenanceManager
+) -> Dict[str, Any]:
+    """The sink-side half of an unfolded tuple's attributes.
+
+    This part is identical for every originating tuple of one unfolded
+    tuple, so the unfolders compute it once per input tuple and copy it per
+    origin.
+    """
+    sink_values = unfolded_of.values
+    keys = tuple(sink_values)
+    prefixed = _PREFIXED_KEYS.get(keys)
+    if prefixed is None:
+        if len(_PREFIXED_KEYS) > 1024:  # degenerate dynamic schemas
+            _PREFIXED_KEYS.clear()
+        prefixed = _PREFIXED_KEYS[keys] = tuple(SINK_PREFIX + key for key in keys)
+    base: Dict[str, Any] = dict(zip(prefixed, sink_values.values()))
+    base[SINK_TS_FIELD] = unfolded_of.ts
+    base[SINK_ID_FIELD] = manager.tuple_id(unfolded_of)
+    return base
+
+
+def _with_origin(
+    base: Dict[str, Any], origin: StreamTuple, manager: ProvenanceManager
+) -> Dict[str, Any]:
+    """One unfolded tuple's attributes: sink-side ``base`` plus one origin."""
+    values = dict(base)
+    values.update(origin.values)
+    values[ORIGIN_TS_FIELD] = origin.ts
+    values[ORIGIN_ID_FIELD] = manager.tuple_id(origin)
+    values[ORIGIN_TYPE_FIELD] = origin_type_name(origin)
+    return values
 
 
 def make_unfolded_values(
@@ -54,14 +99,7 @@ def make_unfolded_values(
     attributes and its timestamp / unique id / type (``ts_o`` / ``id_o`` /
     ``type_o``, Definition 6.2).
     """
-    values: Dict[str, Any] = {SINK_PREFIX + key: value for key, value in unfolded_of.values.items()}
-    values[SINK_TS_FIELD] = unfolded_of.ts
-    values[SINK_ID_FIELD] = manager.tuple_id(unfolded_of)
-    values.update(origin.values)
-    values[ORIGIN_TS_FIELD] = origin.ts
-    values[ORIGIN_ID_FIELD] = manager.tuple_id(origin)
-    values[ORIGIN_TYPE_FIELD] = origin_type_name(origin)
-    return values
+    return _with_origin(_sink_base_values(unfolded_of, manager), origin, manager)
 
 
 class UnfoldMapOperator(SingleInputOperator):
@@ -76,10 +114,15 @@ class UnfoldMapOperator(SingleInputOperator):
     max_outputs = 1
 
     def process_tuple(self, tup: StreamTuple) -> None:
-        for origin in self.provenance.unfold(tup):
-            out = StreamTuple.owned(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
+        manager = self.provenance
+        origins = manager.unfold(tup)
+        if not origins:
+            return
+        base = _sink_base_values(tup, manager)
+        for origin in origins:
+            out = StreamTuple.owned(ts=tup.ts, values=_with_origin(base, origin, manager))
             out.wall = max(tup.wall, origin.wall)
-            self.provenance.on_map_output(out, tup)
+            manager.on_map_output(out, tup)
             self.emit(out)
 
 
@@ -101,11 +144,43 @@ class SUOperator(SingleInputOperator):
 
     def process_tuple(self, tup: StreamTuple) -> None:
         self.emit(tup, self.DATA_PORT)
-        for origin in self.provenance.unfold(tup):
-            out = StreamTuple.owned(ts=tup.ts, values=make_unfolded_values(tup, origin, self.provenance))
+        manager = self.provenance
+        origins = manager.unfold(tup)
+        if not origins:
+            return
+        base = _sink_base_values(tup, manager)
+        for origin in origins:
+            out = StreamTuple.owned(ts=tup.ts, values=_with_origin(base, origin, manager))
             out.wall = max(tup.wall, origin.wall)
-            self.provenance.on_map_output(out, tup)
+            manager.on_map_output(out, tup)
             self.emit(out, self.UNFOLDED_PORT)
+
+    def process_batch(self, batch) -> None:
+        # Batched variant: one pass-through emit and one unfolded emit per
+        # input batch (instead of one stream push + consumer wake per tuple);
+        # per-stream tuple order is identical to the per-tuple path.
+        manager = self.provenance
+        unfold = manager.unfold
+        on_map_output = manager.on_map_output
+        owned = StreamTuple.owned
+        unfolded = []
+        append = unfolded.append
+        for tup in batch:
+            origins = unfold(tup)
+            if not origins:
+                continue
+            ts = tup.ts
+            wall = tup.wall
+            base = _sink_base_values(tup, manager)
+            for origin in origins:
+                out = owned(ts=ts, values=_with_origin(base, origin, manager))
+                origin_wall = origin.wall
+                out.wall = wall if wall >= origin_wall else origin_wall
+                on_map_output(out, tup)
+                append(out)
+        self.emit_many(batch, self.DATA_PORT)
+        if unfolded:
+            self.emit_many(unfolded, self.UNFOLDED_PORT)
 
 
 def attach_su(

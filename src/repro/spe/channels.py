@@ -41,10 +41,13 @@ from __future__ import annotations
 import multiprocessing
 import threading
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.spe.errors import ChannelError
 from repro.spe.tuples import FINAL_WATERMARK
+
+#: one wire payload: a legacy JSON document (str) or a binary batch blob.
+Payload = Union[str, bytes]
 
 
 class ChannelTransport:
@@ -62,10 +65,10 @@ class ChannelTransport:
     local = True
 
     # -- producer side -----------------------------------------------------
-    def send(self, payload: str) -> None:
+    def send(self, payload: Payload) -> None:
         raise NotImplementedError
 
-    def send_many(self, payloads: Sequence[str]) -> None:
+    def send_many(self, payloads: Sequence[Payload]) -> None:
         raise NotImplementedError
 
     def advance_watermark(self, ts: float) -> bool:
@@ -76,10 +79,10 @@ class ChannelTransport:
         raise NotImplementedError
 
     # -- consumer side -----------------------------------------------------
-    def receive(self) -> Optional[str]:
+    def receive(self) -> Optional[Payload]:
         raise NotImplementedError
 
-    def receive_all(self) -> List[str]:
+    def receive_all(self) -> List[Payload]:
         raise NotImplementedError
 
     @property
@@ -102,15 +105,15 @@ class InMemoryTransport(ChannelTransport):
     __slots__ = ("_queue", "_watermark", "_closed")
 
     def __init__(self) -> None:
-        self._queue: Deque[str] = deque()
+        self._queue: Deque[Payload] = deque()
         self._watermark: float = float("-inf")
         self._closed = False
 
     # -- producer side -----------------------------------------------------
-    def send(self, payload: str) -> None:
+    def send(self, payload: Payload) -> None:
         self._queue.append(payload)
 
-    def send_many(self, payloads: Sequence[str]) -> None:
+    def send_many(self, payloads: Sequence[Payload]) -> None:
         self._queue.extend(payloads)
 
     def advance_watermark(self, ts: float) -> bool:
@@ -124,18 +127,18 @@ class InMemoryTransport(ChannelTransport):
         self._watermark = FINAL_WATERMARK
 
     # -- consumer side -----------------------------------------------------
-    def receive(self) -> Optional[str]:
+    def receive(self) -> Optional[Payload]:
         if not self._queue:
             return None
         return self._queue.popleft()
 
-    def receive_all(self) -> List[str]:
+    def receive_all(self) -> List[Payload]:
         # Drain with atomic ``popleft`` calls rather than snapshot+clear:
         # under the ThreadedRuntime the producer appends from another
         # thread, and a payload sent between a snapshot and a clear would
         # be lost forever.
         queue = self._queue
-        items: List[str] = []
+        items: List[Payload] = []
         while queue:
             items.append(queue.popleft())
         return items
@@ -182,7 +185,7 @@ class ProcessTransport(ChannelTransport):
     def __init__(self, context: Optional[multiprocessing.context.BaseContext] = None) -> None:
         ctx = context if context is not None else multiprocessing.get_context()
         self._reader, self._writer = ctx.Pipe(duplex=False)
-        self._buffer: Deque[str] = deque()
+        self._buffer: Deque[Payload] = deque()
         self._watermark: float = float("-inf")
         self._closed = False
 
@@ -192,10 +195,10 @@ class ProcessTransport(ChannelTransport):
         return self._reader
 
     # -- producer side -----------------------------------------------------
-    def send(self, payload: str) -> None:
+    def send(self, payload: Payload) -> None:
         self._writer.send((_MSG_DATA, (payload,)))
 
-    def send_many(self, payloads: Sequence[str]) -> None:
+    def send_many(self, payloads: Sequence[Payload]) -> None:
         self._writer.send((_MSG_DATA, tuple(payloads)))
 
     def advance_watermark(self, ts: float) -> bool:
@@ -225,14 +228,14 @@ class ProcessTransport(ChannelTransport):
                 self._closed = True
                 self._watermark = FINAL_WATERMARK
 
-    def receive(self) -> Optional[str]:
+    def receive(self) -> Optional[Payload]:
         if not self._buffer:
             self._drain()
         if not self._buffer:
             return None
         return self._buffer.popleft()
 
-    def receive_all(self) -> List[str]:
+    def receive_all(self) -> List[Payload]:
         self._drain()
         items = list(self._buffer)
         self._buffer.clear()
@@ -251,7 +254,15 @@ class ProcessTransport(ChannelTransport):
 
 
 class Channel:
-    """A FIFO of serialised tuples between two SPE instances."""
+    """A FIFO of serialised tuple payloads between two SPE instances.
+
+    A payload is either one legacy JSON document (``str``, ``codec="json"``)
+    or one :mod:`repro.spe.codec` binary batch blob (``bytes``,
+    ``codec="binary"``, the default).  ``codec`` only records which format
+    the Send/Receive operators at the two ends should speak -- the channel
+    itself carries payloads opaquely, and :meth:`send_block` lets a batched
+    producer account N tuples for one blob.
+    """
 
     __slots__ = (
         "name",
@@ -260,14 +271,23 @@ class Channel:
         "tuples_sent",
         "bytes_sent",
         "consumer",
+        "codec",
     )
 
-    def __init__(self, name: str = "", transport: Optional[ChannelTransport] = None) -> None:
+    def __init__(
+        self,
+        name: str = "",
+        transport: Optional[ChannelTransport] = None,
+        codec: str = "binary",
+    ) -> None:
         self.name = name
         self._transport = transport if transport is not None else InMemoryTransport()
         self._lock = threading.Lock()
         self.tuples_sent = 0
         self.bytes_sent = 0
+        #: wire format the Send/Receive pair on this channel speaks
+        #: ("binary" or "json"); see :mod:`repro.spe.codec`.
+        self.codec = codec
         #: the Receive operator reading this channel (registered by
         #: ``ReceiveOperator``); signalled on every producer-side mutation
         #: when the transport is local (cross-process transports wake the
@@ -288,7 +308,7 @@ class Channel:
             consumer.signal()
 
     # -- producer side -----------------------------------------------------
-    def send(self, payload: str) -> None:
+    def send(self, payload: Payload) -> None:
         """Enqueue one serialised tuple."""
         with self._lock:
             if self._transport.closed:
@@ -298,7 +318,7 @@ class Channel:
             self.bytes_sent += len(payload)
         self._wake()
 
-    def send_many(self, payloads: Iterable[str]) -> None:
+    def send_many(self, payloads: Iterable[Payload]) -> None:
         """Enqueue a batch of serialised tuples with one consumer wake-up."""
         batch = payloads if isinstance(payloads, (list, tuple)) else list(payloads)
         if not batch:
@@ -309,6 +329,21 @@ class Channel:
             self._transport.send_many(batch)
             self.tuples_sent += len(batch)
             self.bytes_sent += sum(len(payload) for payload in batch)
+        self._wake()
+
+    def send_block(self, payload, count: int) -> None:
+        """Enqueue one payload carrying ``count`` tuples (a batch blob).
+
+        The traffic counters account the batched tuples individually --
+        ``tuples_sent`` stays a tuple count across codecs -- while
+        ``bytes_sent`` grows by the blob's wire size.
+        """
+        with self._lock:
+            if self._transport.closed:
+                raise ChannelError(f"channel {self.name!r} is closed")
+            self._transport.send(payload)
+            self.tuples_sent += count
+            self.bytes_sent += len(payload)
         self._wake()
 
     def advance_watermark(self, ts: float) -> None:
@@ -325,11 +360,11 @@ class Channel:
         self._wake()
 
     # -- consumer side -----------------------------------------------------
-    def receive(self) -> Optional[str]:
+    def receive(self) -> Optional[Payload]:
         """Dequeue one serialised tuple, or None when the channel is empty."""
         return self._transport.receive()
 
-    def receive_all(self) -> List[str]:
+    def receive_all(self) -> List[Payload]:
         """Dequeue every available serialised tuple."""
         return self._transport.receive_all()
 

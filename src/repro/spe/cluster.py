@@ -177,7 +177,7 @@ class _DataListener:
                 return
             try:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                message = _recv_control(sock, FrameDecoder())
+                message = _recv_control(sock, FrameDecoder("data-hello"))
             except Exception:
                 sock.close()
                 continue
@@ -229,7 +229,7 @@ class _WorkerSession:
     def __init__(self, control: socket.socket, host: str) -> None:
         self._control = control
         self._host = host
-        self._decoder = FrameDecoder()
+        self._decoder = FrameDecoder("worker-control")
         self._instance: Optional[SPEInstance] = None
         self._listener: Optional[_DataListener] = None
         self._producer_socks: List[socket.socket] = []
@@ -473,7 +473,7 @@ class _InstanceSession:
         self.instance = instance
         self.address = address
         self.sock: Optional[socket.socket] = None
-        self.decoder = FrameDecoder()
+        self.decoder = FrameDecoder("coordinator-control")
         #: ("ok" | "error" | "stopped" | "died", document) once known.
         self.outcome: Optional[Tuple[str, Dict]] = None
         self.data_address: Optional[Address] = None

@@ -1,0 +1,701 @@
+"""Batched binary wire codec for cross-boundary tuple transport.
+
+The seed shipped every cross-boundary tuple as its own JSON document
+(:mod:`repro.spe.serialization`), so the provenance-carrying inter-process
+cells paid a per-tuple serialisation tax that dwarfed the provenance capture
+itself (q1 GL inter ran at ~1/5th of the NP throughput).  This module
+replaces that wire format with a *batched, columnar, stateful* binary codec:
+
+* **one blob per channel flush** -- a Send operator encodes the whole batch
+  it was handed into a single ``bytes`` payload, so the per-tuple Python
+  overhead (dict building, ``json.dumps``, per-payload channel accounting)
+  is paid once per batch;
+* **columnar packing** -- within a batch, tuples sharing an attribute schema
+  are stored column by column, so a column of floats is one
+  ``struct.pack("<Nd", ...)`` call instead of N formatted literals;
+* **interned field/type names** -- attribute names, schemas and the small
+  provenance vocabulary (``SOURCE``/``RESULT``/... type tags) are interned
+  in per-channel dictionaries and ship as varint references after their
+  first occurrence;
+* **id dictionaries** -- GeneaLog/baseline tuple ids have the shape
+  ``"<node>:<counter>"``; the codec interns the node prefix and ships the
+  counter as a varint, so a repeated source id costs 2-3 bytes instead of
+  a quoted string.
+
+The codec is *stateful per channel direction*: encoder and decoder each
+maintain string/schema dictionaries that grow in lock-step because every
+"new entry" is explicit on the wire.  Both sides start empty (a shipped
+plan carries only empty codec state), and FIFO transports keep them in
+sync.  :meth:`BinaryChannelEncoder.reset` / :meth:`BinaryChannelDecoder.reset`
+drop the dictionaries, e.g. when a channel reconnects mid-stream.
+
+JSON remains the compatibility/debug format: a decoder dispatches on the
+payload type (``bytes`` means a binary batch, ``str`` means one legacy JSON
+document), so fault-tolerance replay buffers and JSON-configured peers keep
+working against a binary-configured receiver.  The provenance ledger's JSONL
+segments intentionally stay JSON (human-readable, greppable).
+
+Wire layout of one batch blob (all integers are LEB128 varints unless a
+fixed width is noted)::
+
+    0xB5                      magic (rejects JSON/foreign payloads)
+    uvarint n                 tuple count
+    column(ts, n)             event timestamps
+    column(wall, n)           wall-clock stamps
+    0x00 | 0x01 + n generics  order keys (0x00 = all None)
+    documents(values, n)      attribute dicts
+    documents(prov, n)        provenance payload dicts
+
+    documents := uvarint group_count, then per group of schema-identical
+                 consecutive documents: uvarint count, schema ref
+                 (0 = new schema: uvarint key_count + interned keys;
+                 k>0 = schema table entry k-1), then one column per key.
+
+    column    := tag byte + body:
+                 'F' float64*m   | 'I' int64*m | 'B' byte*m | 'N' (empty)
+                 'T' m interned strings        | 'D' m (prefix ref, uvarint)
+                 'G' m generic tagged values
+
+Any truncated or torn blob raises :class:`SerializationError` -- every read
+is bounds-checked and a decoded batch must consume the buffer exactly --
+never a silent mis-decode.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.spe.errors import SerializationError
+from repro.spe.serialization import deserialize_tuple
+from repro.spe.tuples import StreamTuple
+
+#: first byte of every binary batch blob.  JSON payloads start with ``{`` or
+#: ``[``; a foreign payload hitting the binary decoder fails immediately.
+MAGIC = 0xB5
+
+#: codec names accepted by :class:`~repro.spe.channels.Channel` /
+#: :class:`repro.api.pipeline.Pipeline`.
+CODEC_BINARY = "binary"
+CODEC_JSON = "json"
+CODECS = (CODEC_BINARY, CODEC_JSON)
+
+#: interning limits: strings longer than this, or arriving once the table is
+#: full, ship as literals (escape 1) and do not grow the dictionaries.
+_MAX_INTERN_LEN = 64
+_MAX_INTERNED = 1 << 16
+
+#: refuse batches declaring more tuples than this (corrupt count prefix).
+_MAX_BATCH_TUPLES = 1 << 24
+
+# column tags ('F'loat, 'I'nt, 'B'ool, 'N'one, in'T'erned, i'D', 'G'eneric)
+_COL_FLOAT = 0x46
+_COL_INT = 0x49
+_COL_BOOL = 0x42
+_COL_NONE = 0x4E
+_COL_INTERN = 0x54
+_COL_ID = 0x44
+_COL_GENERIC = 0x47
+
+# generic value tags
+_G_NONE = 0
+_G_FALSE = 1
+_G_TRUE = 2
+_G_INT = 3
+_G_FLOAT = 4
+_G_STR = 5
+_G_ID = 6
+_G_LIST = 7
+_G_DICT = 8
+
+_PACK_FLOAT = struct.Struct("<d")
+_UNPACK_FLOAT = _PACK_FLOAT.unpack_from
+
+#: cached ``struct.Struct`` objects for whole-column packs, keyed by
+#: ``(type_code, count)`` -- batch sizes recur, so the format parse is paid
+#: once per (code, size) pair instead of once per column.
+_COLUMN_STRUCTS: Dict[Tuple[str, int], struct.Struct] = {}
+
+
+def _column_struct(code: str, count: int) -> struct.Struct:
+    key = (code, count)
+    packer = _COLUMN_STRUCTS.get(key)
+    if packer is None:
+        packer = _COLUMN_STRUCTS[key] = struct.Struct(f"<{count}{code}")
+    return packer
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative, arbitrary size) as a LEB128 varint."""
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def read_uvarint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Read a LEB128 varint at ``pos``; return ``(value, new_pos)``.
+
+    Raises ``IndexError`` past the end of ``buf`` (mapped to
+    :class:`SerializationError` by the batch decoder).
+    """
+    shift = 0
+    result = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def write_svarint(out: bytearray, value: int) -> None:
+    """Append a signed integer as a zigzag-encoded varint."""
+    write_uvarint(out, value * 2 if value >= 0 else -value * 2 - 1)
+
+
+def read_svarint(buf: bytes, pos: int) -> Tuple[int, int]:
+    """Inverse of :func:`write_svarint`."""
+    raw, pos = read_uvarint(buf, pos)
+    return (raw >> 1 if not raw & 1 else -(raw >> 1) - 1), pos
+
+
+def _id_parts(value: str):
+    """Split an id-shaped string ``"<prefix>:<counter>"``; None otherwise.
+
+    The counter must round-trip through ``int`` exactly: ASCII digits only
+    (``"٣"`` passes ``isdigit`` but would decode differently) and no
+    redundant leading zeros (``"n:007"`` would come back as ``"n:7"``).
+    """
+    head, sep, tail = value.rpartition(":")
+    if (
+        sep
+        and tail.isdigit()
+        and tail.isascii()
+        and (len(tail) == 1 or tail[0] != "0")
+        and len(head) <= _MAX_INTERN_LEN
+    ):
+        return head, int(tail)
+    return None
+
+
+class BinaryChannelEncoder:
+    """Stateful binary encoder for one channel direction.
+
+    ``channel`` names the channel in error messages.  The string/schema
+    dictionaries persist across batches; :meth:`reset` drops them (the
+    matching decoder must reset too -- e.g. on a channel reconnect).
+    """
+
+    __slots__ = ("channel", "_strings", "_schemas", "_id_cache")
+
+    def __init__(self, channel: str = "") -> None:
+        self.channel = channel
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the interning dictionaries (start of a fresh stream)."""
+        self._strings: Dict[str, int] = {}
+        self._schemas: Dict[Tuple[str, ...], int] = {}
+        # string -> (prefix, counter) | False: memoised id parses.  Ids
+        # repeat across batches (one sink id per unfolded pair, one source id
+        # per window it contributes to), so the split is worth remembering.
+        # Purely encoder-local: safe to drop any time, no decoder lock-step.
+        self._id_cache: Dict[str, Any] = {}
+
+    # -- batch entry point -------------------------------------------------
+    def encode_batch(
+        self,
+        tuples: Sequence[StreamTuple],
+        payloads: Sequence[Dict[str, Any]],
+    ) -> bytes:
+        """Encode ``tuples`` and their provenance ``payloads`` into one blob."""
+        out = bytearray()
+        out.append(MAGIC)
+        write_uvarint(out, len(tuples))
+        try:
+            self._encode_column(out, [t.ts for t in tuples])
+            self._encode_column(out, [t.wall for t in tuples])
+            orders = [t.order_key for t in tuples]
+            if any(order is not None for order in orders):
+                out.append(1)
+                for order in orders:
+                    self._encode_generic(out, order)
+            else:
+                out.append(0)
+            self._encode_documents(out, [t.values for t in tuples])
+            self._encode_documents(out, payloads)
+        except SerializationError as exc:
+            raise SerializationError(
+                f"channel {self.channel!r}: cannot serialise batch: {exc}"
+            ) from exc
+        return bytes(out)
+
+    # -- documents ---------------------------------------------------------
+    def _encode_documents(self, out: bytearray, docs: Sequence[Dict[str, Any]]) -> None:
+        n = len(docs)
+        # Group consecutive documents sharing a key tuple: within a batch the
+        # schema almost never changes, so this is usually one group.
+        key_tuples = list(map(tuple, docs))
+        groups = []
+        i = 0
+        while i < n:
+            keys = key_tuples[i]
+            j = i + 1
+            while j < n and key_tuples[j] == keys:
+                j += 1
+            groups.append((keys, i, j))
+            i = j
+        write_uvarint(out, len(groups))
+        schemas = self._schemas
+        for keys, start, end in groups:
+            count = end - start
+            write_uvarint(out, count)
+            code = schemas.get(keys)
+            if code is None:
+                schemas[keys] = len(schemas)
+                out.append(0)
+                write_uvarint(out, len(keys))
+                for key in keys:
+                    self._write_interned(out, key)
+            else:
+                write_uvarint(out, code + 1)
+            if not keys:
+                continue
+            if count == 1:
+                columns = [(value,) for value in docs[start].values()]
+            else:
+                columns = zip(*(doc.values() for doc in docs[start:end]))
+            for column in columns:
+                self._encode_column(out, column)
+
+    # -- columns -----------------------------------------------------------
+    def _encode_column(self, out: bytearray, column) -> None:
+        kinds = set(map(type, column))
+        if kinds == {float}:
+            out.append(_COL_FLOAT)
+            out += _column_struct("d", len(column)).pack(*column)
+        elif kinds == {int}:
+            try:
+                packed = _column_struct("q", len(column)).pack(*column)
+            except struct.error:  # magnitude beyond int64: varints handle it
+                self._encode_generic_column(out, column)
+            else:
+                out.append(_COL_INT)
+                out += packed
+        elif kinds == {str}:
+            self._encode_str_column(out, column)
+        elif kinds == {bool}:
+            out.append(_COL_BOOL)
+            out += bytes(map(int, column))
+        elif kinds == {type(None)}:
+            out.append(_COL_NONE)
+        else:
+            self._encode_generic_column(out, column)
+
+    def _encode_str_column(self, out: bytearray, column) -> None:
+        # id parse inlined from :func:`_id_parts` and memoised per string:
+        # this loop runs once per string cell on the wire and both the call
+        # overhead and the re-parse of repeated ids are measurable.
+        id_cache = self._id_cache
+        id_cache_get = id_cache.get
+        parts = []
+        append_part = parts.append
+        for value in column:
+            split = id_cache_get(value)
+            if split is None:
+                if len(id_cache) > 8192:
+                    id_cache.clear()
+                head, sep, tail = value.rpartition(":")
+                if (
+                    not sep
+                    or not tail.isdigit()
+                    or not tail.isascii()
+                    or len(head) > _MAX_INTERN_LEN
+                    or (tail[0] == "0" and len(tail) != 1)
+                ):
+                    split = id_cache[value] = False
+                else:
+                    split = id_cache[value] = (head, int(tail))
+            if split is False:
+                parts = None
+                break
+            append_part(split)
+        strings = self._strings
+        strings_get = strings.get
+        append = out.append
+        if parts is not None and len(strings) < _MAX_INTERNED:
+            append(_COL_ID)
+            for prefix, counter in parts:
+                code = strings_get(prefix)
+                if code is not None and code < 0x7E:
+                    append(code + 2)
+                else:
+                    self._write_interned(out, prefix)
+                if counter < 0x80:
+                    append(counter)
+                else:
+                    write_uvarint(out, counter)
+        else:
+            append(_COL_INTERN)
+            for value in column:
+                code = strings_get(value)
+                if code is not None and code < 0x7E:
+                    append(code + 2)
+                else:
+                    self._write_interned(out, value)
+
+    def _encode_generic_column(self, out: bytearray, column) -> None:
+        out.append(_COL_GENERIC)
+        for value in column:
+            self._encode_generic(out, value)
+
+    # -- scalars -----------------------------------------------------------
+    def _write_interned(self, out: bytearray, value: str) -> None:
+        # escape: 0 = new dictionary entry, 1 = literal (not interned),
+        # k >= 2 = reference to entry k-2.  The decoder mirrors exactly the
+        # entries marked 0, so both dictionaries grow in lock-step.
+        strings = self._strings
+        code = strings.get(value)
+        if code is not None:
+            write_uvarint(out, code + 2)
+            return
+        raw = value.encode("utf-8")
+        if len(value) <= _MAX_INTERN_LEN and len(strings) < _MAX_INTERNED:
+            strings[value] = len(strings)
+            out.append(0)
+        else:
+            out.append(1)
+        write_uvarint(out, len(raw))
+        out += raw
+
+    def _encode_generic(self, out: bytearray, value) -> None:
+        kind = type(value)
+        if value is None:
+            out.append(_G_NONE)
+        elif kind is bool:
+            out.append(_G_TRUE if value else _G_FALSE)
+        elif kind is int:
+            out.append(_G_INT)
+            write_svarint(out, value)
+        elif kind is float:
+            out.append(_G_FLOAT)
+            out += _PACK_FLOAT.pack(value)
+        elif kind is str:
+            split = _id_parts(value)
+            if split is not None and len(self._strings) < _MAX_INTERNED:
+                out.append(_G_ID)
+                self._write_interned(out, split[0])
+                write_uvarint(out, split[1])
+            else:
+                out.append(_G_STR)
+                self._write_interned(out, value)
+        elif kind is list or kind is tuple:
+            out.append(_G_LIST)
+            write_uvarint(out, len(value))
+            for item in value:
+                self._encode_generic(out, item)
+        elif kind is dict:
+            out.append(_G_DICT)
+            write_uvarint(out, len(value))
+            for key, item in value.items():
+                if type(key) is not str:
+                    raise SerializationError(
+                        f"dict key {key!r} of type {type(key).__name__} "
+                        "(wire documents require string keys)"
+                    )
+                self._write_interned(out, key)
+                self._encode_generic(out, item)
+        else:
+            raise SerializationError(
+                f"value {value!r} of unserialisable type {kind.__name__}"
+            )
+
+
+class BinaryChannelDecoder:
+    """Stateful binary decoder for one channel direction.
+
+    Mirrors :class:`BinaryChannelEncoder`: its dictionaries are rebuilt from
+    the explicit "new entry" markers on the wire, so feeding it the
+    encoder's blobs in FIFO order reproduces the encoder's state.  ``str``
+    payloads fall back to the legacy JSON document format (compatibility:
+    fault-tolerance replay buffers, JSON-configured peers).
+    """
+
+    __slots__ = ("channel", "_strings", "_schemas")
+
+    def __init__(self, channel: str = "") -> None:
+        self.channel = channel
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the interning dictionaries (start of a fresh stream)."""
+        self._strings: List[str] = []
+        self._schemas: List[Tuple[str, ...]] = []
+
+    # -- batch entry point -------------------------------------------------
+    def decode_batch(self, payload) -> Tuple[List[StreamTuple], List[Dict[str, Any]]]:
+        """Decode one channel payload into ``(tuples, provenance_payloads)``."""
+        if isinstance(payload, str):
+            tup, prov = deserialize_tuple(payload, channel=self.channel)
+            return [tup], [prov]
+        try:
+            return self._decode_binary(payload)
+        except SerializationError:
+            raise
+        except (IndexError, struct.error, UnicodeDecodeError, ValueError,
+                OverflowError, MemoryError) as exc:
+            raise SerializationError(
+                f"channel {self.channel!r}: truncated or corrupt binary "
+                f"batch ({len(payload)} bytes): {exc}"
+            ) from exc
+
+    def _decode_binary(self, buf: bytes) -> Tuple[List[StreamTuple], List[Dict[str, Any]]]:
+        if not buf or buf[0] != MAGIC:
+            head = bytes(buf[:1])
+            raise SerializationError(
+                f"channel {self.channel!r}: payload does not start with the "
+                f"binary batch magic (first byte {head!r})"
+            )
+        count, pos = read_uvarint(buf, 1)
+        if count > _MAX_BATCH_TUPLES:
+            raise SerializationError(
+                f"channel {self.channel!r}: batch declares {count} tuples, "
+                f"beyond the {_MAX_BATCH_TUPLES} sanity limit (corrupt blob)"
+            )
+        ts_column, pos = self._decode_column(buf, pos, count)
+        wall_column, pos = self._decode_column(buf, pos, count)
+        order_flag = buf[pos]
+        pos += 1
+        orders = None
+        if order_flag:
+            orders = []
+            for _ in range(count):
+                order, pos = self._decode_generic(buf, pos)
+                orders.append(order)
+        values_docs, pos = self._decode_documents(buf, pos, count)
+        prov_docs, pos = self._decode_documents(buf, pos, count)
+        if pos != len(buf):
+            raise SerializationError(
+                f"channel {self.channel!r}: {len(buf) - pos} trailing byte(s) "
+                "after the batch (corrupt or mis-framed blob)"
+            )
+        # Inlined StreamTuple.owned: this loop rebuilds every cross-boundary
+        # tuple, so even the classmethod call is measurable at batch sizes.
+        new = StreamTuple.__new__
+        cls = StreamTuple
+        tuples = []
+        append = tuples.append
+        for ts, values, wall in zip(ts_column, values_docs, wall_column):
+            tup = new(cls)
+            tup.ts = ts
+            tup.values = values
+            tup.meta = None
+            tup.wall = wall
+            tup.order_key = None
+            append(tup)
+        if orders is not None:
+            for tup, order in zip(tuples, orders):
+                if order is not None:
+                    tup.order_key = tuple(order) if isinstance(order, list) else order
+        return tuples, prov_docs
+
+    # -- documents ---------------------------------------------------------
+    def _decode_documents(self, buf: bytes, pos: int, expected: int):
+        # The single-byte case dominates every varint here (group counts,
+        # schema refs); the inline fast path skips the function call.
+        byte = buf[pos]
+        if byte < 0x80:
+            group_count = byte
+            pos += 1
+        else:
+            group_count, pos = read_uvarint(buf, pos)
+        docs: List[Dict[str, Any]] = []
+        schemas = self._schemas
+        for _ in range(group_count):
+            byte = buf[pos]
+            if byte < 0x80:
+                count = byte
+                pos += 1
+            else:
+                count, pos = read_uvarint(buf, pos)
+            if len(docs) + count > expected:
+                raise SerializationError(
+                    f"channel {self.channel!r}: document groups overflow the "
+                    f"declared batch size {expected}"
+                )
+            byte = buf[pos]
+            if byte < 0x80:
+                code = byte
+                pos += 1
+            else:
+                code, pos = read_uvarint(buf, pos)
+            if code == 0:
+                key_count, pos = read_uvarint(buf, pos)
+                keys = []
+                for _ in range(key_count):
+                    key, pos = self._read_interned(buf, pos)
+                    keys.append(key)
+                keys = tuple(keys)
+                schemas.append(keys)
+            else:
+                index = code - 1
+                if index >= len(schemas):
+                    raise SerializationError(
+                        f"channel {self.channel!r}: unknown schema reference "
+                        f"{index} (decoder out of sync; was the encoder reset?)"
+                    )
+                keys = schemas[index]
+            if not keys:
+                docs.extend({} for _ in range(count))
+                continue
+            columns = []
+            for _ in keys:
+                column, pos = self._decode_column(buf, pos, count)
+                columns.append(column)
+            docs.extend([dict(zip(keys, row)) for row in zip(*columns)])
+        if len(docs) != expected:
+            raise SerializationError(
+                f"channel {self.channel!r}: batch declares {expected} tuples "
+                f"but its document groups carry {len(docs)}"
+            )
+        return docs, pos
+
+    # -- columns -----------------------------------------------------------
+    def _decode_column(self, buf: bytes, pos: int, count: int):
+        tag = buf[pos]
+        pos += 1
+        if tag == _COL_FLOAT:
+            column = _column_struct("d", count).unpack_from(buf, pos)
+            return column, pos + 8 * count
+        if tag == _COL_INT:
+            column = _column_struct("q", count).unpack_from(buf, pos)
+            return column, pos + 8 * count
+        if tag == _COL_INTERN:
+            strings = self._strings
+            known = len(strings)
+            column = []
+            append = column.append
+            for _ in range(count):
+                code = buf[pos]
+                if 2 <= code < 0x80:
+                    if code - 2 >= known:
+                        self._unknown_string(code - 2)
+                    pos += 1
+                    append(strings[code - 2])
+                else:
+                    value, pos = self._read_interned(buf, pos)
+                    known = len(strings)
+                    append(value)
+            return column, pos
+        if tag == _COL_ID:
+            strings = self._strings
+            known = len(strings)
+            column = []
+            append = column.append
+            for _ in range(count):
+                code = buf[pos]
+                if 2 <= code < 0x80:
+                    if code - 2 >= known:
+                        self._unknown_string(code - 2)
+                    pos += 1
+                    prefix = strings[code - 2]
+                else:
+                    prefix, pos = self._read_interned(buf, pos)
+                    known = len(strings)
+                counter = buf[pos]
+                if counter < 0x80:
+                    pos += 1
+                else:
+                    counter, pos = read_uvarint(buf, pos)
+                append(f"{prefix}:{counter}")
+            return column, pos
+        if tag == _COL_BOOL:
+            end = pos + count
+            if end > len(buf):
+                raise IndexError("bool column past the end of the buffer")
+            return [byte != 0 for byte in buf[pos:end]], end
+        if tag == _COL_NONE:
+            return [None] * count, pos
+        if tag == _COL_GENERIC:
+            column = []
+            for _ in range(count):
+                value, pos = self._decode_generic(buf, pos)
+                column.append(value)
+            return column, pos
+        raise SerializationError(
+            f"channel {self.channel!r}: unknown column tag {tag:#x} on the wire"
+        )
+
+    # -- scalars -----------------------------------------------------------
+    def _unknown_string(self, index: int) -> None:
+        raise SerializationError(
+            f"channel {self.channel!r}: unknown string reference "
+            f"{index} (decoder out of sync; was the encoder reset?)"
+        )
+
+    def _read_interned(self, buf: bytes, pos: int) -> Tuple[str, int]:
+        code, pos = read_uvarint(buf, pos)
+        if code >= 2:
+            index = code - 2
+            strings = self._strings
+            if index >= len(strings):
+                self._unknown_string(index)
+            return strings[index], pos
+        length, pos = read_uvarint(buf, pos)
+        end = pos + length
+        raw = buf[pos:end]
+        if len(raw) != length:
+            raise IndexError("string literal past the end of the buffer")
+        value = raw.decode("utf-8")
+        if code == 0:
+            self._strings.append(value)
+        return value, end
+
+    def _decode_generic(self, buf: bytes, pos: int):
+        tag = buf[pos]
+        pos += 1
+        if tag == _G_NONE:
+            return None, pos
+        if tag == _G_FALSE:
+            return False, pos
+        if tag == _G_TRUE:
+            return True, pos
+        if tag == _G_INT:
+            return read_svarint(buf, pos)
+        if tag == _G_FLOAT:
+            (value,) = _UNPACK_FLOAT(buf, pos)
+            return value, pos + 8
+        if tag == _G_STR:
+            return self._read_interned(buf, pos)
+        if tag == _G_ID:
+            prefix, pos = self._read_interned(buf, pos)
+            counter, pos = read_uvarint(buf, pos)
+            return f"{prefix}:{counter}", pos
+        if tag == _G_LIST:
+            length, pos = read_uvarint(buf, pos)
+            items = []
+            for _ in range(length):
+                item, pos = self._decode_generic(buf, pos)
+                items.append(item)
+            return items, pos
+        if tag == _G_DICT:
+            length, pos = read_uvarint(buf, pos)
+            document = {}
+            for _ in range(length):
+                key, pos = self._read_interned(buf, pos)
+                document[key], pos = self._decode_generic(buf, pos)
+            return document, pos
+        raise SerializationError(
+            f"channel {self.channel!r}: unknown value tag {tag:#x} on the wire"
+        )
+
+
+def check_codec(codec: str) -> str:
+    """Validate a codec name (:data:`CODECS`); return it unchanged."""
+    if codec not in CODECS:
+        raise ValueError(
+            f"unknown wire codec {codec!r}; expected one of {CODECS}"
+        )
+    return codec

@@ -118,7 +118,14 @@ class ReliableSendOperator(SendOperator):
             self.process_tuple(tup)
 
     def process_tuple(self, tup: StreamTuple) -> None:
-        payload = serialize_tuple(tup, self.provenance.on_send(tup))
+        # The backup keeps per-tuple JSON documents deliberately: replay
+        # must be able to re-inject any suffix of the sent stream, which a
+        # stateful batch blob (dictionary references into earlier batches)
+        # cannot offer.  The receiving decoder accepts JSON payloads on a
+        # binary channel, so replayed traffic deserialises unchanged.
+        payload = serialize_tuple(
+            tup, self.provenance.on_send(tup), channel=self.channel.name
+        )
         # Record *before* sending: a crash between the two leaves, at worst,
         # a backed-up-but-unsent tuple (replayed harmlessly on recovery).
         # The opposite order would leave a sent-but-unbacked-up tuple that

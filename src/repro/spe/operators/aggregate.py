@@ -209,7 +209,7 @@ class AggregateOperator(SingleInputOperator):
                 # buffered in the (overlapping) window state.
                 values = dict(values)
             out = StreamTuple.owned(ts=out_ts, values=owned_values(values))
-            out.wall = max(t.wall for t in window_tuples)
+            out.wall = max(map(_tuple_wall, window_tuples))
             if self._tag_order_key:
                 out.order_key = _key_sort_value(key)
             contributors = None
@@ -272,3 +272,6 @@ def _key_sort_value(key: Hashable) -> Tuple[str, str]:
 
 #: fast timestamp accessor for the bisect-bounded window slices.
 _tuple_ts = attrgetter("ts")
+
+#: fast wall-clock accessor for the per-window latency maximum.
+_tuple_wall = attrgetter("wall")

@@ -6,6 +6,20 @@ side because tuples are serialised across the process boundary (section 4.1).
 The provenance manager is consulted on both sides: on Send it contributes the
 payload that must survive serialisation (GeneaLog: tuple type and unique ID),
 on Receive it re-attaches metadata to the freshly created tuple.
+
+The wire format is chosen by the channel's ``codec``:
+
+* ``"binary"`` (default) -- the Send operator encodes each batch it is
+  handed into **one** :mod:`repro.spe.codec` blob and flushes it with a
+  single :meth:`~repro.spe.channels.Channel.send_block`, so the per-tuple
+  serialisation and channel-accounting overhead is paid per batch.
+* ``"json"`` -- the seed's compatibility/debug format: one JSON document
+  per tuple, shipped with ``send_many``.
+
+The Receive operator decodes *any* payload regardless of its own codec
+setting: a ``bytes`` payload is a binary batch, a ``str`` payload is one
+JSON document (e.g. a fault-tolerance replay buffer, or a JSON-configured
+peer), so mixed traffic on one channel still deserialises correctly.
 """
 
 from __future__ import annotations
@@ -13,8 +27,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.spe.channels import Channel
+from repro.spe.codec import CODEC_JSON, BinaryChannelDecoder, BinaryChannelEncoder
 from repro.spe.operators.base import Operator, SingleInputOperator
-from repro.spe.serialization import deserialize_tuple, serialize_tuple
+from repro.spe.serialization import serialize_tuple
 from repro.spe.tuples import StreamTuple
 
 
@@ -24,21 +39,55 @@ class SendOperator(SingleInputOperator):
     max_inputs = 1
     max_outputs = 0
 
-    def __init__(self, name: str, channel: Channel) -> None:
+    def __init__(
+        self, name: str, channel: Channel, ship_provenance: bool = True
+    ) -> None:
         super().__init__(name)
         self.channel = channel
+        #: when False the Send ships empty provenance payloads instead of
+        #: consulting the manager.  The GeneaLog unfolded streams set this:
+        #: an unfolded tuple carries its provenance inside its *attributes*
+        #: (``sink_id`` / ``id_o`` / ``type_o``), and the MU and the ledger
+        #: only ever read those, so minting and shipping a wire id per
+        #: unfolded tuple is pure overhead on the provenance-heavy channels.
+        self.ship_provenance = ship_provenance
+        # Per-channel-direction encoder state (interned strings, schemas,
+        # id dictionaries).  Fresh state here matches the fresh decoder the
+        # receiving end builds; both grow in lock-step via the wire.
+        if getattr(channel, "codec", "binary") == CODEC_JSON:
+            self._encoder = None
+        else:
+            self._encoder = BinaryChannelEncoder(channel.name)
 
     def process_tuple(self, tup: StreamTuple) -> None:
-        payload = self.provenance.on_send(tup)
-        self.channel.send(serialize_tuple(tup, payload))
+        payload = self.provenance.on_send(tup) if self.ship_provenance else {}
+        encoder = self._encoder
+        if encoder is None:
+            self.channel.send(serialize_tuple(tup, payload, channel=self.channel.name))
+        else:
+            blob = encoder.encode_batch((tup,), (payload,))
+            self.channel.send_block(blob, 1)
         self._progress = True
 
     def process_batch(self, batch: Sequence[StreamTuple]) -> None:
         """Serialise the whole batch and flush it to the channel in one call."""
-        on_send = self.provenance.on_send
-        self.channel.send_many(
-            [serialize_tuple(tup, on_send(tup)) for tup in batch]
-        )
+        encoder = self._encoder
+        if self.ship_provenance:
+            on_send = self.provenance.on_send
+            payloads = [on_send(tup) for tup in batch]
+        else:
+            payloads = ({},) * len(batch)
+        if encoder is None:
+            name = self.channel.name
+            self.channel.send_many(
+                [
+                    serialize_tuple(tup, payload, channel=name)
+                    for tup, payload in zip(batch, payloads)
+                ]
+            )
+        else:
+            blob = encoder.encode_batch(batch, payloads)
+            self.channel.send_block(blob, len(batch))
         self._progress = True
 
     def on_watermark(self, watermark: float) -> None:
@@ -60,12 +109,16 @@ class ReceiveOperator(Operator):
         # Channel activity (send / watermark / close) must mark this operator
         # runnable: it has no input stream to signal it.
         channel.consumer = self
+        #: decoder for binary batch payloads; its JSON fallback also covers
+        #: ``str`` payloads, so it is built regardless of the channel codec.
+        self._decoder = BinaryChannelDecoder(channel.name)
 
     def work(self) -> bool:
         self._progress = False
         if not self.outputs:
             return False
         channel = self.channel
+        decode = self._decoder.decode_batch
         on_receive = None if self.provenance.is_noop else self.provenance.on_receive
         while True:
             # Snapshot the watermark *before* draining: the producer only
@@ -81,10 +134,16 @@ class ReceiveOperator(Operator):
             if payloads:
                 batch = []
                 for payload in payloads:
-                    tup, provenance_payload = deserialize_tuple(payload)
+                    tuples, provenance_payloads = decode(payload)
                     if on_receive is not None:
-                        on_receive(tup, provenance_payload)
-                    batch.append(tup)
+                        for tup, provenance_payload in zip(tuples, provenance_payloads):
+                            # Sends with ``ship_provenance=False`` (the
+                            # GeneaLog unfolded streams) ship empty payloads;
+                            # nothing downstream reads the re-attached
+                            # metadata, so skip the per-tuple call.
+                            if provenance_payload:
+                                on_receive(tup, provenance_payload)
+                    batch += tuples
                 self.tuples_in += len(batch)
                 self.emit_many(batch)
             if watermark > self._in_watermark:
@@ -100,11 +159,12 @@ class ReceiveOperator(Operator):
         return self._progress
 
     def work_per_tuple(self) -> bool:
-        """The seed's receive loop: one channel dequeue + emit per tuple."""
+        """The seed's receive loop: one channel dequeue + emit per payload."""
         self._progress = False
         if not self.outputs:
             return False
         channel = self.channel
+        decode = self._decoder.decode_batch
         while True:
             # watermark-before-drain: see :meth:`work`.
             watermark = channel.watermark
@@ -114,10 +174,11 @@ class ReceiveOperator(Operator):
                 if payload is None:
                     break
                 received = True
-                tup, provenance_payload = deserialize_tuple(payload)
-                self.tuples_in += 1
-                self.provenance.on_receive(tup, provenance_payload)
-                self.emit(tup)
+                tuples, provenance_payloads = decode(payload)
+                self.tuples_in += len(tuples)
+                for tup, provenance_payload in zip(tuples, provenance_payloads):
+                    self.provenance.on_receive(tup, provenance_payload)
+                    self.emit(tup)
             if watermark > self._in_watermark:
                 self._in_watermark = watermark
                 self._advance_outputs(watermark)

@@ -55,6 +55,29 @@ class SinkOperator(SingleInputOperator):
         for tap in self.taps:
             tap.on_tuple(tup)
 
+    def process_batch(self, batch) -> None:
+        # Batched variant of :meth:`process_tuple`.  The reception instant is
+        # still read per tuple: the latency metric is defined against each
+        # tuple's own arrival, and harnesses may inject stepping clocks.
+        self.count += len(batch)
+        wall_clock = self._wall_clock
+        latencies = self.latencies
+        for tup in batch:
+            now = wall_clock()
+            if tup.wall:
+                latencies.append(now - tup.wall)
+        if self._keep_tuples:
+            self.received.extend(batch)
+        callback = self._callback
+        if callback is not None:
+            for tup in batch:
+                callback(tup)
+        taps = self.taps
+        if taps:
+            for tup in batch:
+                for tap in taps:
+                    tap.on_tuple(tup)
+
     def on_watermark(self, watermark: float) -> None:
         for tap in self.taps:
             tap.on_watermark(watermark)

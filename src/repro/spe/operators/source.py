@@ -33,7 +33,7 @@ class SourceOperator(Operator):
         self,
         name: str,
         supplier: TupleSupplier,
-        batch_size: int = 256,
+        batch_size: int = 512,
         wall_clock: Callable[[], float] = time.perf_counter,
         enforce_order: bool = True,
     ) -> None:

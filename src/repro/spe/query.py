@@ -151,9 +151,17 @@ class Query:
         """Add a windowed Join operator (left = first connect, right = second)."""
         return self.add(JoinOperator(name, window_size, predicate, combiner))
 
-    def add_send(self, name: str, channel: Channel) -> SendOperator:
-        """Add a Send operator writing to ``channel``."""
-        return self.add(SendOperator(name, channel))
+    def add_send(
+        self, name: str, channel: Channel, ship_provenance: bool = True
+    ) -> SendOperator:
+        """Add a Send operator writing to ``channel``.
+
+        ``ship_provenance=False`` omits the provenance payload from the wire
+        format; use it on streams whose consumers never read the re-attached
+        metadata (the GeneaLog unfolded streams feeding the MU, whose tuples
+        carry their provenance inside their attributes).
+        """
+        return self.add(SendOperator(name, channel, ship_provenance=ship_provenance))
 
     def add_receive(self, name: str, channel: Channel) -> ReceiveOperator:
         """Add a Receive operator reading from ``channel``."""

@@ -41,8 +41,35 @@ def loads_document(data: str) -> Dict[str, Any]:
         raise SerializationError(f"cannot deserialise document: {exc}") from exc
 
 
-def serialize_tuple(tup: StreamTuple, provenance_payload: Dict[str, Any]) -> str:
-    """Serialise ``tup`` (and its provenance payload) into a JSON string."""
+def _offending_value(document: Dict[str, Any]) -> str:
+    """Name the first non-JSON-safe value in ``document`` and its type.
+
+    Walks the attribute and provenance mappings probing each value
+    individually, so the error can say *which* field carried the
+    unserialisable object instead of only echoing :mod:`json`'s generic
+    complaint about the whole document.
+    """
+    for section in ("values", "prov"):
+        mapping = document.get(section)
+        if not isinstance(mapping, dict):
+            continue
+        for key, value in mapping.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                return f"{section}[{key!r}] of type {type(value).__name__}"
+    return "a value"
+
+
+def serialize_tuple(
+    tup: StreamTuple, provenance_payload: Dict[str, Any], channel: str = ""
+) -> str:
+    """Serialise ``tup`` (and its provenance payload) into a JSON string.
+
+    ``channel`` names the channel in error messages (the operator that
+    serialises knows which link the tuple was bound for; the exception
+    otherwise loses that context by the time it surfaces).
+    """
     document = {
         "ts": tup.ts,
         "values": tup.values,
@@ -58,15 +85,24 @@ def serialize_tuple(tup: StreamTuple, provenance_payload: Dict[str, Any]) -> str
     try:
         return dumps_document(document)
     except SerializationError as exc:
-        raise SerializationError(f"cannot serialise tuple {tup!r}: {exc}") from exc
+        raise SerializationError(
+            f"channel {channel!r}: cannot serialise tuple {tup!r}: "
+            f"{_offending_value(document)} is not JSON-safe: {exc}"
+        ) from exc
 
 
-def deserialize_tuple(data: str) -> Tuple[StreamTuple, Dict[str, Any]]:
+def deserialize_tuple(
+    data: str, channel: str = ""
+) -> Tuple[StreamTuple, Dict[str, Any]]:
     """Rebuild a tuple (plus its provenance payload) from a JSON string."""
     try:
         document = loads_document(data)
     except SerializationError as exc:
-        raise SerializationError(f"cannot deserialise tuple payload: {exc}") from exc
+        snippet = data if len(data) <= 80 else data[:77] + "..."
+        raise SerializationError(
+            f"channel {channel!r}: cannot deserialise tuple payload of type "
+            f"{type(data).__name__} ({snippet!r}): {exc}"
+        ) from exc
     try:
         tup = StreamTuple(
             ts=document["ts"],
@@ -74,7 +110,14 @@ def deserialize_tuple(data: str) -> Tuple[StreamTuple, Dict[str, Any]]:
             wall=document.get("wall", 0.0),
         )
     except KeyError as exc:
-        raise SerializationError(f"tuple payload missing field {exc}") from exc
+        raise SerializationError(
+            f"channel {channel!r}: tuple payload missing field {exc}"
+        ) from exc
+    except (TypeError, AttributeError) as exc:
+        raise SerializationError(
+            f"channel {channel!r}: tuple payload is not a document of type "
+            f"dict but {type(document).__name__}: {exc}"
+        ) from exc
     order_key = document.get("ord")
     if order_key is not None:
         # JSON turns tuples into lists; restore the tuple form so locally

