@@ -42,6 +42,13 @@ It records the coordinator/worker protocol + socket dataplane cost next to
 the pipe-backed numbers, plus the actual wire traffic (tuples and bytes
 over the sockets) per run.
 
+A **telemetry** section runs the headline q1 NP intra cell with the
+:mod:`repro.obs` runtime telemetry disabled and enabled.  The enabled leg
+reports the span/time-series volume and latency percentiles; the disabled
+leg backs the "telemetry off is near-free" contract -- its throughput must
+stay within :data:`MAX_DISABLED_TELEMETRY_OVERHEAD` of the headline cell,
+gated by ``--check-against``.
+
 A **serialization** section compares the wire formats on the
 provenance-heavy q1 GL inter cell: full-cell runs per codec (JSON vs the
 :mod:`repro.spe.codec` binary batch format) with the measured wire
@@ -80,6 +87,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.api import Pipeline  # noqa: E402
 from repro.core.provenance import ProvenanceMode  # noqa: E402
 from repro.experiments.config import WorkloadScale, workload_config_for  # noqa: E402
+from repro.spe.metrics import StatSummary  # noqa: E402
 from repro.workloads.linear_road import LinearRoadGenerator  # noqa: E402
 from repro.workloads.queries import (  # noqa: E402
     QUERY_NAMES,
@@ -90,6 +98,12 @@ from repro.workloads.smart_grid import SmartGridGenerator  # noqa: E402
 
 #: the seed's source batch size (before the event-driven engine raised it).
 SEED_SOURCE_BATCH = 64
+
+#: telemetry-disabled throughput may trail the headline (no-telemetry) cell
+#: by at most this relative fraction: the always-compiled hooks must stay
+#: near-free when no tracer is installed.  Same-machine, same-code ratio, so
+#: the bound mostly absorbs timing noise.
+MAX_DISABLED_TELEMETRY_OVERHEAD = 0.03
 
 #: the binary wire codec must beat the JSON format by at least this factor on
 #: the codec microbench (pure encode+decode round trips of q1 GL traffic).
@@ -226,9 +240,11 @@ def measure_provenance_store(tuples, repeats: int) -> Dict:
 
     legs = {}
     store_stats = {}
+    traversal = StatSummary.of([])
     for label, attach_store in (("off", False), ("on", True)):
         best_seconds = float("inf")
         best_ledger = None
+        best_result = None
         for _ in range(repeats):
             supplier = [t.copy() for t in tuples]
             pipeline = Pipeline(
@@ -243,6 +259,7 @@ def measure_provenance_store(tuples, repeats: int) -> Dict:
             if seconds < best_seconds:
                 best_seconds = seconds
                 best_ledger = result.store
+                best_result = result
         legs[label] = {
             "seconds": round(best_seconds, 6),
             "tuples_per_second": round(len(tuples) / best_seconds, 1),
@@ -255,6 +272,8 @@ def measure_provenance_store(tuples, repeats: int) -> Dict:
                 "dedup_ratio": round(best_ledger.dedup_ratio, 3),
                 "duplicate_tuples": best_ledger.duplicate_tuples,
             }
+        if attach_store:
+            traversal = StatSummary.of(best_result.traversal_times_s())
     overhead = legs["on"]["seconds"] / legs["off"]["seconds"] - 1.0
     row = {
         "cell": "q1/GL/intra",
@@ -262,18 +281,137 @@ def measure_provenance_store(tuples, repeats: int) -> Dict:
             "Live provenance store: ingest cost of materialising every sink "
             "mapping into an in-memory ProvenanceLedger during the run, "
             "relative to GL capture alone.  dedup_ratio = source references "
-            "per stored source entry (shared sources stored once)."
+            "per stored source entry (shared sources stored once).  "
+            "traversal_ms distributes the per-sink-tuple contribution-graph "
+            "walks of the store-attached leg."
         ),
         "off": legs["off"],
         "on": legs["on"],
         "ingest_overhead": round(overhead, 4),
         "store": store_stats,
+        "traversal_ms": {
+            "count": traversal.count,
+            "mean": round(traversal.mean * 1000, 6),
+            "p50": round(traversal.p50 * 1000, 6),
+            "p95": round(traversal.p95 * 1000, 6),
+            "p99": round(traversal.p99 * 1000, 6),
+            "max": round(traversal.maximum * 1000, 6),
+        },
     }
     print(
         f"q1 GL intra provenance store: {legs['off']['tuples_per_second']:>12,.0f} "
         f"-> {legs['on']['tuples_per_second']:>12,.0f} tps "
         f"({overhead * 100:+.1f}% ingest overhead, dedup ratio "
-        f"{store_stats.get('dedup_ratio', 1.0):.2f})"
+        f"{store_stats.get('dedup_ratio', 1.0):.2f}, traversal p50/p95/p99 "
+        f"{row['traversal_ms']['p50']:.4f}/{row['traversal_ms']['p95']:.4f}/"
+        f"{row['traversal_ms']['p99']:.4f} ms)"
+    )
+    return row
+
+
+def measure_telemetry(tuples, repeats: int) -> Dict:
+    """q1 NP intra with telemetry off vs on (span tracing + time series).
+
+    Two legs of the headline cell: ``telemetry=None`` (the always-compiled
+    hooks take their ``is None`` fast path) and a full :class:`Telemetry`
+    object (ring-buffered spans, periodic time-series rows, exporters).  The
+    disabled leg is additionally compared against the headline cell by
+    ``build_report`` -- that ratio is the "telemetry off is near-free"
+    contract gated by ``--check-against``.
+    """
+    from repro.obs.telemetry import Telemetry
+
+    # The three legs are interleaved within each round (headline, disabled,
+    # enabled, headline, ...) so every round's legs run under the same
+    # machine conditions, and the reported overheads are MEDIANS of the
+    # per-round paired ratios: a lucky outlier in one leg of a best-of
+    # comparison would otherwise masquerade as hook cost (or hide it).
+    labels = ("headline", "disabled", "enabled")
+    rounds = max(repeats, 11)  # an honest median needs a few samples
+    samples = {label: [] for label in labels}
+    best = {label: (float("inf"), None, None) for label in labels}
+    for _ in range(rounds):
+        for label in labels:
+            supplier = [t.copy() for t in tuples]
+            telemetry = Telemetry() if label == "enabled" else None
+            kwargs = {} if label == "headline" else {"telemetry": telemetry}
+            pipeline = query_pipeline(
+                "q1",
+                supplier,
+                mode=ProvenanceMode.NONE,
+                deployment="intra",
+                **kwargs,
+            )
+            result = pipeline.build()
+            started = time.perf_counter()
+            pipeline.run()
+            seconds = time.perf_counter() - started
+            samples[label].append(seconds)
+            if seconds < best[label][0]:
+                best[label] = (seconds, telemetry, result)
+    legs = {
+        label: {
+            "seconds": round(best[label][0], 6),
+            "tuples_per_second": round(len(tuples) / best[label][0], 1),
+        }
+        for label in labels
+    }
+    _, best_telemetry, best_result = best["enabled"]
+    spans = best_telemetry.spans()
+    latency = StatSummary.of(
+        [s for sink in best_result.sinks for s in sink.latencies]
+    )
+    enabled_detail = {
+        "spans_recorded": len(spans),
+        "span_kinds": sorted({span.kind for span in spans}),
+        "time_series_rows": len(best_telemetry.sampler.rows),
+        "latency_ms": {
+            "count": latency.count,
+            "mean": round(latency.mean * 1000, 6),
+            "p50": round(latency.p50 * 1000, 6),
+            "p95": round(latency.p95 * 1000, 6),
+            "p99": round(latency.p99 * 1000, 6),
+        },
+    }
+    def median_ratio(numerator: str, denominator: str) -> float:
+        ratios = sorted(
+            n / d for n, d in zip(samples[numerator], samples[denominator])
+        )
+        middle = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[middle]
+        return (ratios[middle - 1] + ratios[middle]) / 2.0
+
+    enabled_overhead = median_ratio("enabled", "disabled") - 1.0
+    disabled_overhead = max(0.0, median_ratio("disabled", "headline") - 1.0)
+    row = {
+        "cell": "q1/NP/intra",
+        "note": (
+            "Runtime telemetry (repro.obs): headline = the cell without any "
+            "telemetry argument, disabled = telemetry=None (the hook sites' "
+            "is-None fast path), enabled = full span tracing + time-series "
+            "sampling.  Legs are interleaved per round and the overheads are "
+            "medians of the per-round paired ratios (robust to scheduler/"
+            "frequency noise).  disabled_overhead_vs_headline is gated at "
+            "max_disabled_overhead by --check-against: the always-compiled "
+            "hooks must stay near-free when off."
+        ),
+        "headline": legs["headline"],
+        "disabled": legs["disabled"],
+        "enabled": legs["enabled"],
+        "enabled_overhead": round(enabled_overhead, 4),
+        "disabled_overhead_vs_headline": round(disabled_overhead, 4),
+        "enabled_detail": enabled_detail,
+        "max_disabled_overhead": MAX_DISABLED_TELEMETRY_OVERHEAD,
+    }
+    print(
+        f"q1 NP intra telemetry: headline "
+        f"{legs['headline']['tuples_per_second']:>12,.0f}, disabled "
+        f"{legs['disabled']['tuples_per_second']:>12,.0f}, enabled "
+        f"{legs['enabled']['tuples_per_second']:>12,.0f} tps "
+        f"({disabled_overhead * 100:+.1f}% disabled vs headline, "
+        f"{enabled_overhead * 100:+.1f}% when on, "
+        f"{enabled_detail['spans_recorded']} spans)"
     )
     return row
 
@@ -566,6 +704,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
     multiprocess_scaling = None
     cluster_scaling = None
     serialization = None
+    telemetry = None
     for query_name in QUERY_NAMES:
         tuples = materialise_workload(query_name, scale)
         if query_name == "q1":
@@ -574,6 +713,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
             multiprocess_scaling = measure_multiprocess_scaling(scale, repeats)
             cluster_scaling = measure_cluster_scaling(scale, repeats)
             serialization = measure_serialization(tuples, repeats)
+            telemetry = measure_telemetry(tuples, repeats)
         for deployment in DEPLOYMENTS:
             for mode in MODES:
                 cell = measure_cell(query_name, tuples, mode, deployment, repeats)
@@ -626,6 +766,7 @@ def build_report(scale: WorkloadScale, repeats: int) -> Dict:
         "multiprocess_scaling": multiprocess_scaling,
         "cluster_scaling": cluster_scaling,
         "serialization": serialization,
+        "telemetry": telemetry,
         "cells": cells,
     }
 
@@ -692,6 +833,30 @@ def check_against(report: Dict, baseline: Dict, tolerance: float) -> int:
             status = 1
         else:
             print("OK: binary codec advantage holds")
+
+    # Telemetry-off gate: the always-compiled hook sites must stay near-free
+    # when no tracer is installed.  Same-machine ratio of two no-telemetry
+    # code paths, so the fixed bound absorbs noise, not real cost.
+    telemetry = report.get("telemetry")
+    if telemetry and "disabled_overhead_vs_headline" in telemetry:
+        disabled_overhead = telemetry["disabled_overhead_vs_headline"]
+        overhead_ceiling = telemetry.get(
+            "max_disabled_overhead", MAX_DISABLED_TELEMETRY_OVERHEAD
+        )
+        print(
+            f"q1/NP/intra telemetry-disabled overhead vs headline: "
+            f"{disabled_overhead * 100:.2f}%, ceiling "
+            f"{overhead_ceiling * 100:.0f}%"
+        )
+        if disabled_overhead > overhead_ceiling:
+            print(
+                "FAIL: telemetry hooks cost measurable throughput even when "
+                "disabled",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print("OK: disabled telemetry is near-free")
     return status
 
 

@@ -21,6 +21,7 @@ from repro.api.pipeline import (
     Placement,
     resolve_mode,
 )
+from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.provstore import (
     JsonlLedgerBackend,
     MemoryLedgerBackend,
@@ -38,6 +39,8 @@ __all__ = [
     "Placement",
     "PROVENANCE_INSTANCE",
     "resolve_mode",
+    "Telemetry",
+    "TelemetryConfig",
     "JsonlLedgerBackend",
     "MemoryLedgerBackend",
     "ProvenanceLedger",

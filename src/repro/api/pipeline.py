@@ -38,6 +38,7 @@ from repro.core.provenance import (
     create_manager,
 )
 from repro.core.unfolder import attach_su
+from repro.obs.telemetry import Telemetry, coerce_telemetry
 from repro.provstore.backends import JsonlLedgerBackend
 from repro.provstore.ledger import ProvenanceLedger
 from repro.provstore.tap import LedgerTap
@@ -216,8 +217,19 @@ class PipelineResult:
     wakeups: int = 0
     #: live provenance store attached via ``Pipeline(provenance_store=...)``.
     store: Optional[ProvenanceLedger] = None
+    #: the run's telemetry (None unless ``Pipeline(telemetry=...)`` enabled
+    #: it): merged spans, time series, histograms and the exporters.
+    trace: Optional[Telemetry] = None
 
     # -- convenience -------------------------------------------------------------
+    def timeline(self):
+        """The run's merged span timeline (coordinator + shipped workers).
+
+        Empty when telemetry was not enabled for the run.
+        """
+        if self.trace is None:
+            return []
+        return self.trace.timeline()
     @property
     def source(self) -> SourceOperator:
         """The single Source (raises when the dataflow declares several)."""
@@ -305,6 +317,12 @@ class Pipeline:
     format of the inter-instance channels: ``"binary"`` (default, the
     batched :mod:`repro.spe.codec` format) or ``"json"`` (the seed's
     per-tuple documents, kept for compatibility and debugging).
+    ``telemetry`` enables runtime observability for the run (default off):
+    ``True``, a :class:`~repro.obs.telemetry.TelemetryConfig` or a
+    :class:`~repro.obs.telemetry.Telemetry` object -- the run's spans, time
+    series and histograms surface as ``PipelineResult.trace`` /
+    ``PipelineResult.timeline()``, with worker buffers shipped back and
+    clock-aligned under ``execution="process"`` / ``"cluster"``.
     """
 
     def __init__(
@@ -319,6 +337,7 @@ class Pipeline:
         provenance_store: Union[ProvenanceLedger, str, None] = None,
         hosts=None,
         codec: str = "binary",
+        telemetry=None,
     ) -> None:
         if execution not in ("event", "polling", "process", "cluster"):
             raise DataflowError(
@@ -345,6 +364,10 @@ class Pipeline:
         self.execution = execution
         self.hosts = hosts
         self.codec = check_codec(codec)
+        try:
+            self.telemetry = coerce_telemetry(telemetry)
+        except ValueError as exc:
+            raise DataflowError(str(exc)) from None
         self.store = self._resolve_store(provenance_store)
         self._result: Optional[PipelineResult] = None
 
@@ -469,6 +492,15 @@ class Pipeline:
         passes / runtime rounds (e.g. for memory sampling).
         """
         result = self.build()
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.attach(result, self.execution)
+            result.trace = telemetry
+            if self.execution in ("event", "polling"):
+                # In-process executions drive the time-series sampler from
+                # the round callback; the out-of-process ones do not (the
+                # coordinator's counters only materialise after the run).
+                round_callback = telemetry.wrap_callback(round_callback)
         if result.deployment == "intra":
             scheduler_cls = Scheduler if self.execution == "event" else PollingScheduler
             scheduler = scheduler_cls(
@@ -477,6 +509,8 @@ class Pipeline:
                 pass_callback=round_callback,
                 callback_every=callback_every,
             )
+            if telemetry is not None:
+                scheduler.tracer = telemetry.tracer
             scheduler.run()
             result.rounds = scheduler.passes
             result.wakeups = scheduler.wakeups
@@ -486,6 +520,7 @@ class Pipeline:
                 max_rounds=max_rounds,
                 round_callback=round_callback,
                 callback_every=callback_every,
+                telemetry=telemetry,
             )
             runtime.run()
             result.rounds = runtime.rounds
@@ -497,6 +532,7 @@ class Pipeline:
                 max_rounds=max_rounds,
                 round_callback=round_callback,
                 callback_every=callback_every,
+                telemetry=telemetry,
             )
             runtime.run()
             result.rounds = runtime.rounds
@@ -513,9 +549,13 @@ class Pipeline:
                 round_callback=round_callback,
                 callback_every=callback_every,
             )
+            if telemetry is not None:
+                runtime.install_tracer(telemetry.tracer)
             runtime.run()
             result.rounds = runtime.rounds
             result.wakeups = runtime.total_wakeups()
+        if telemetry is not None:
+            telemetry.finalize(result)
         return result
 
 

@@ -60,6 +60,11 @@ class GeneaLogProvenance(ProvenanceManager):
 
     name = "GL"
 
+    #: telemetry span tracer.  A class attribute defaulting to None (same
+    #: contract as Operator.tracer) so managers revived from a shipped plan
+    #: stay silent until the worker-side obs layer opts them in.
+    tracer = None
+
     def __init__(self, node_id: str = "local", record_traversal_times: bool = True) -> None:
         self.node_id = node_id
         self.record_traversal_times = record_traversal_times
@@ -173,9 +178,21 @@ class GeneaLogProvenance(ProvenanceManager):
 
     # -- provenance retrieval --------------------------------------------------------
     def unfold(self, tup: StreamTuple) -> List[StreamTuple]:
-        if not self.record_traversal_times:
+        if not self.record_traversal_times and self.tracer is None:
             return find_provenance(tup)
         started = time.perf_counter()
         originating = find_provenance(tup)
-        self.traversal_times_s.append(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        if self.record_traversal_times:
+            self.traversal_times_s.append(elapsed)
+        if self.tracer is not None:
+            # The interval is already measured; hand it over instead of
+            # timing the traversal twice.
+            self.tracer.record(
+                "provenance.traversal",
+                self.node_id,
+                started,
+                count=len(originating),
+                duration=elapsed,
+            )
         return originating

@@ -165,6 +165,8 @@ class SUOperator(SingleInputOperator):
         owned = StreamTuple.owned
         unfolded = []
         append = unfolded.append
+        tracer = self.tracer
+        started = tracer.clock() if tracer is not None else 0.0
         for tup in batch:
             origins = unfold(tup)
             if not origins:
@@ -178,6 +180,8 @@ class SUOperator(SingleInputOperator):
                 out.wall = wall if wall >= origin_wall else origin_wall
                 on_map_output(out, tup)
                 append(out)
+        if tracer is not None:
+            tracer.record("provenance.unfold", self.name, started, count=len(unfolded))
         self.emit_many(batch, self.DATA_PORT)
         if unfolded:
             self.emit_many(unfolded, self.UNFOLDED_PORT)

@@ -79,7 +79,9 @@ def _performance_table(name: str, cells: Dict[str, RunMetrics]) -> str:
     lines = [
         f"{name}: throughput / latency / memory per query and technique",
         f"{'query':<6}{'tech':<6}{'tput (t/s)':>14}{'vs NP':>9}"
-        f"{'latency (ms)':>14}{'vs NP':>9}{'avg mem (MB)':>14}{'max mem (MB)':>14}",
+        f"{'latency (ms)':>14}{'vs NP':>9}"
+        f"{'p50 (ms)':>11}{'p95 (ms)':>11}{'p99 (ms)':>11}"
+        f"{'avg mem (MB)':>14}{'max mem (MB)':>14}",
     ]
     for query in QUERIES:
         reference = cells.get(f"{query}/NP")
@@ -88,7 +90,8 @@ def _performance_table(name: str, cells: Dict[str, RunMetrics]) -> str:
             if metrics is None:
                 continue
             throughput = metrics.throughput_tps
-            latency_ms = metrics.latency.mean * 1000.0
+            latency = metrics.latency
+            latency_ms = latency.mean * 1000.0
             versus_throughput = (
                 _percentage(throughput, reference.throughput_tps) if reference else "   n/a"
             )
@@ -100,6 +103,8 @@ def _performance_table(name: str, cells: Dict[str, RunMetrics]) -> str:
             lines.append(
                 f"{query:<6}{mode.label:<6}{throughput:>14.0f}{versus_throughput:>9}"
                 f"{latency_ms:>14.2f}{versus_latency:>9}"
+                f"{latency.p50 * 1000:>11.2f}{latency.p95 * 1000:>11.2f}"
+                f"{latency.p99 * 1000:>11.2f}"
                 f"{metrics.memory_average_mb:>14.3f}{metrics.memory_max_mb:>14.3f}"
             )
         lines.append("")
@@ -141,7 +146,9 @@ def figure14(
 
     lines = [
         "Figure 14: contribution-graph traversal time per sink tuple (GeneaLog)",
-        f"{'query':<6}{'deployment':<22}{'mean (ms)':>12}{'max (ms)':>12}{'samples':>10}",
+        f"{'query':<6}{'deployment':<22}{'mean (ms)':>12}"
+        f"{'p50 (ms)':>11}{'p95 (ms)':>11}{'p99 (ms)':>11}"
+        f"{'max (ms)':>12}{'samples':>10}",
     ]
     for query in QUERIES:
         intra_metrics = cells.get(f"intra/{query}/GL")
@@ -149,6 +156,8 @@ def figure14(
             summary = intra_metrics.traversal
             lines.append(
                 f"{query:<6}{'intra-process':<22}{summary.mean * 1000:>12.4f}"
+                f"{summary.p50 * 1000:>11.4f}{summary.p95 * 1000:>11.4f}"
+                f"{summary.p99 * 1000:>11.4f}"
                 f"{summary.maximum * 1000:>12.4f}{summary.count:>10}"
             )
         inter_metrics = cells.get(f"inter/{query}/GL")
@@ -157,6 +166,8 @@ def figure14(
                 summary = StatSummary.of(samples)
                 lines.append(
                     f"{query:<6}{'inter (' + instance + ')':<22}{summary.mean * 1000:>12.4f}"
+                    f"{summary.p50 * 1000:>11.4f}{summary.p95 * 1000:>11.4f}"
+                    f"{summary.p99 * 1000:>11.4f}"
                     f"{summary.maximum * 1000:>12.4f}{summary.count:>10}"
                 )
         lines.append("")

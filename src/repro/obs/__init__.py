@@ -1,0 +1,40 @@
+"""Runtime telemetry: operator spans, time-series metrics, trace export.
+
+Always importable, default-off.  Enable per run with
+``Pipeline(telemetry=True)`` (or a :class:`TelemetryConfig` /
+:class:`Telemetry`); read the merged timeline from ``PipelineResult.trace``
+and export it as a Chrome trace-event document, Prometheus text or JSONL.
+See :mod:`repro.obs.tracer` for the overhead contract of the disabled path.
+"""
+
+from repro.obs.export import chrome_trace, jsonl_events, prometheus_text
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, TimeSeriesSampler
+from repro.obs.telemetry import (
+    Telemetry,
+    TelemetryConfig,
+    coerce_telemetry,
+    enable_worker_telemetry,
+)
+from repro.obs.tracer import (
+    DEFAULT_CAPACITY,
+    SpanRecord,
+    SpanTracer,
+    merge_exports,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "DEFAULT_CAPACITY",
+    "Histogram",
+    "SpanRecord",
+    "SpanTracer",
+    "Telemetry",
+    "TelemetryConfig",
+    "TimeSeriesSampler",
+    "chrome_trace",
+    "coerce_telemetry",
+    "enable_worker_telemetry",
+    "jsonl_events",
+    "merge_exports",
+    "prometheus_text",
+]

@@ -1,0 +1,241 @@
+"""Trace and metrics exporters: Chrome trace-event JSON, Prometheus, JSONL.
+
+All three render from the *merged* span timeline (wall-clock-aligned
+:class:`~repro.obs.tracer.SpanRecord` lists plus histogram / time-series
+exports) so a pipeline that ran across processes or hosts exports exactly
+like a single-process one.
+
+* :func:`chrome_trace` -- the Trace Event Format consumed by Perfetto and
+  ``chrome://tracing``: complete ``"X"`` events for spans, instant ``"i"``
+  events for zero-duration records, and ``"M"`` metadata events naming the
+  integer pid/tid lanes (pid = node/worker, tid = span kind).
+* :func:`prometheus_text` -- text exposition (version 0.0.4): span counts
+  and cumulative seconds as counters, latency/traversal histograms with
+  cumulative ``le`` buckets, sampled gauges from the newest time-series row.
+* :func:`jsonl_events` -- one JSON object per line per record, the
+  greppable raw feed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from .metrics import Histogram
+from .tracer import SpanRecord
+
+
+def chrome_trace(
+    spans: Sequence[SpanRecord], *, time_series: Sequence[Dict] = ()
+) -> Dict:
+    """Render merged spans as a Chrome trace-event document (plain dict).
+
+    Lanes: each distinct ``node`` becomes a process (pid), each span
+    ``kind`` within it a thread (tid), so Perfetto groups the coordinator
+    and every worker side by side with their operator/channel/provenance
+    tracks nested underneath.  Timestamps are microseconds relative to the
+    earliest record (Chrome viewers prefer small positive ts values).
+    """
+    events: List[Dict] = []
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    origin_s = min(
+        (span.start_s for span in spans),
+        default=time_series[0]["t_wall_s"] if time_series else 0.0,
+    )
+
+    for span in spans:
+        pid = pids.get(span.node)
+        if pid is None:
+            pid = pids[span.node] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": span.node},
+                }
+            )
+        lane = (span.node, span.kind)
+        tid = tids.get(lane)
+        if tid is None:
+            tid = tids[lane] = sum(1 for key in tids if key[0] == span.node) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": span.kind},
+                }
+            )
+        ts_us = (span.start_s - origin_s) * 1e6
+        if span.duration_s > 0.0:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span.name,
+                    "cat": span.kind,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": round(ts_us, 3),
+                    "dur": round(span.duration_s * 1e6, 3),
+                    "args": {"count": span.count},
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": span.name,
+                    "cat": span.kind,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": round(ts_us, 3),
+                    "args": {"count": span.count},
+                }
+            )
+
+    # Time-series rows ride along as counter events on the coordinator lane
+    # so queue depths / heap plot directly under the spans in Perfetto.
+    for row in time_series:
+        ts_us = (row["t_wall_s"] - origin_s) * 1e6
+        depths = row.get("queue_depth") or {}
+        if depths:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "queue_depth",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": round(ts_us, 3),
+                    "args": {name: depth for name, depth in depths.items()},
+                }
+            )
+        if "heap_bytes" in row:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "heap_bytes",
+                    "pid": 1,
+                    "tid": 0,
+                    "ts": round(ts_us, 3),
+                    "args": {"current": row["heap_bytes"]},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(
+    spans: Sequence[SpanRecord],
+    histograms: Dict[str, Histogram] = None,
+    time_series: Sequence[Dict] = (),
+    prefix: str = "repro",
+) -> str:
+    """Render spans + histograms + newest sampled row as Prometheus text."""
+    lines: List[str] = []
+
+    totals: Dict[tuple, List[float]] = {}
+    for span in spans:
+        key = (span.kind, span.node)
+        bucket = totals.setdefault(key, [0, 0.0, 0])
+        bucket[0] += 1
+        bucket[1] += span.duration_s
+        bucket[2] += span.count
+
+    lines.append(f"# HELP {prefix}_spans_total Recorded telemetry spans by kind.")
+    lines.append(f"# TYPE {prefix}_spans_total counter")
+    for (kind, node), (count, _, _) in sorted(totals.items()):
+        lines.append(
+            f'{prefix}_spans_total{{kind="{_prom_escape(kind)}",'
+            f'node="{_prom_escape(node)}"}} {count}'
+        )
+    lines.append(
+        f"# HELP {prefix}_span_seconds_total Cumulative time inside spans by kind."
+    )
+    lines.append(f"# TYPE {prefix}_span_seconds_total counter")
+    for (kind, node), (_, seconds, _) in sorted(totals.items()):
+        lines.append(
+            f'{prefix}_span_seconds_total{{kind="{_prom_escape(kind)}",'
+            f'node="{_prom_escape(node)}"}} {seconds:.9f}'
+        )
+    lines.append(
+        f"# HELP {prefix}_span_items_total Items processed inside spans by kind."
+    )
+    lines.append(f"# TYPE {prefix}_span_items_total counter")
+    for (kind, node), (_, _, items) in sorted(totals.items()):
+        lines.append(
+            f'{prefix}_span_items_total{{kind="{_prom_escape(kind)}",'
+            f'node="{_prom_escape(node)}"}} {items}'
+        )
+
+    for name, histogram in sorted((histograms or {}).items()):
+        metric = f"{prefix}_{name}_seconds"
+        lines.append(f"# HELP {metric} Histogram of {name} durations.")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.counts):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{bound:.9g}"}} {cumulative}')
+        cumulative += histogram.counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {histogram.sum_s:.9f}")
+        lines.append(f"{metric}_count {histogram.total}")
+
+    newest = time_series[-1] if time_series else None
+    if newest:
+        depths = newest.get("queue_depth") or {}
+        if depths:
+            lines.append(
+                f"# HELP {prefix}_channel_queue_depth Pending payloads per channel."
+            )
+            lines.append(f"# TYPE {prefix}_channel_queue_depth gauge")
+            for channel, depth in sorted(depths.items()):
+                lines.append(
+                    f'{prefix}_channel_queue_depth{{channel="{_prom_escape(channel)}"}}'
+                    f" {depth}"
+                )
+        operators = newest.get("operator_tuples") or {}
+        if operators:
+            lines.append(
+                f"# HELP {prefix}_operator_tuples_total Cumulative tuples per operator."
+            )
+            lines.append(f"# TYPE {prefix}_operator_tuples_total counter")
+            for operator, row in sorted(operators.items()):
+                for direction in ("in", "out"):
+                    lines.append(
+                        f'{prefix}_operator_tuples_total{{operator='
+                        f'"{_prom_escape(operator)}",direction="{direction}"}}'
+                        f" {row[direction]}"
+                    )
+        if "heap_bytes" in newest:
+            lines.append(f"# HELP {prefix}_heap_bytes Traced heap size (tracemalloc).")
+            lines.append(f"# TYPE {prefix}_heap_bytes gauge")
+            lines.append(f"{prefix}_heap_bytes {newest['heap_bytes']}")
+    return "\n".join(lines) + "\n"
+
+
+def jsonl_events(spans: Iterable[SpanRecord]) -> str:
+    """One JSON object per record per line -- the greppable raw feed."""
+    lines = []
+    for span in spans:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": span.kind,
+                    "name": span.name,
+                    "node": span.node,
+                    "start_s": span.start_s,
+                    "duration_s": span.duration_s,
+                    "count": span.count,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

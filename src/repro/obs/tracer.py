@@ -1,0 +1,163 @@
+"""Low-overhead span tracing: ring-buffered, monotonic-clocked records.
+
+A :class:`SpanTracer` collects *spans* (an interval with a duration) and
+*events* (an instant) from the hot paths of the engine: scheduler wake-ups,
+per-operator ``work``/``process_batch`` calls, channel sends/receives,
+contribution-graph traversals, ledger seals.  Design constraints, in order:
+
+1. **The disabled path must be near-free.**  Every hook site keeps a
+   ``tracer`` attribute that defaults to ``None`` and guards the recording
+   with a single local ``is None`` check -- no function call, no allocation,
+   no lock.  Nothing is ever written when telemetry is off (the test suite
+   asserts literally zero ring-buffer writes).
+2. **The enabled path must be bounded.**  Records land in a
+   ``collections.deque(maxlen=capacity)``: appends are O(1), thread-safe
+   under the GIL (channel producers may record from several threads), and
+   the ring evicts the oldest spans instead of growing without bound.
+3. **Timestamps must be monotonic and mergeable.**  Spans are stamped with
+   :func:`time.perf_counter`; each tracer additionally captures one
+   ``(wall, monotonic)`` anchor pair at construction.  A worker's monotonic
+   instants are mapped onto the wall clock through its *own* anchor, which
+   aligns trace buffers shipped from other processes or hosts onto one
+   timeline (exact when the clocks share a machine, NTP-bounded across
+   hosts).
+
+A raw record is the tuple ``(kind, name, node, start_mono_s, duration_s,
+count)``; :meth:`SpanTracer.export` turns the buffer into plain data that
+survives pickling across the process/socket result path, and
+:func:`merge_exports` re-aligns any number of exported buffers into one
+sorted list of :class:`SpanRecord`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+#: default ring capacity: spans kept per tracer (oldest evicted first).
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One span (or instant event, ``duration_s == 0``) on a merged timeline.
+
+    ``start_s`` is in wall-clock seconds (Unix epoch): the common currency
+    every tracer's monotonic instants are converted into, so records from
+    different processes and hosts order correctly against each other.
+    """
+
+    kind: str
+    name: str
+    node: str
+    start_s: float
+    duration_s: float
+    count: int = 0
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class SpanTracer:
+    """Ring-buffered span recorder for one execution context (one "node").
+
+    ``node`` labels the lane every record belongs to -- the coordinator, or
+    an SPE instance name when the tracer lives inside a worker.  Hook sites
+    may override it per record (the event-driven runtime drives several
+    instances' schedulers with one coordinator-resident tracer).
+    """
+
+    __slots__ = ("node", "capacity", "events", "clock", "wall_anchor", "mono_anchor")
+
+    def __init__(self, node: str = "coordinator", capacity: int = DEFAULT_CAPACITY) -> None:
+        self.node = node
+        self.capacity = int(capacity)
+        self.events: Deque[Tuple] = deque(maxlen=self.capacity)
+        #: the monotonic clock every record is stamped with; hook sites that
+        #: already hold a perf_counter instant may pass it straight in.
+        self.clock = time.perf_counter
+        # One (wall, monotonic) pair captured back to back: the clock offset
+        # that maps this tracer's monotonic instants onto the wall clock --
+        # and through it onto any other tracer's timeline.
+        self.wall_anchor = time.time()
+        self.mono_anchor = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        name: str,
+        started: float,
+        count: int = 0,
+        duration: Optional[float] = None,
+        node: Optional[str] = None,
+    ) -> None:
+        """Append one span that began at monotonic instant ``started``.
+
+        Without an explicit ``duration`` the span ends *now*; hook sites
+        that already measured the interval (the traversal timer) pass it in
+        so the work is not timed twice.
+        """
+        if duration is None:
+            duration = self.clock() - started
+        self.events.append(
+            (kind, name, node if node is not None else self.node, started, duration, count)
+        )
+
+    def event(
+        self, kind: str, name: str, count: int = 0, node: Optional[str] = None
+    ) -> None:
+        """Append one instant event (duration zero)."""
+        self.events.append(
+            (kind, name, node if node is not None else self.node, self.clock(), 0.0, count)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- alignment and export ---------------------------------------------
+    def to_wall(self, mono_s: float) -> float:
+        """Map one of this tracer's monotonic instants onto the wall clock."""
+        return self.wall_anchor + (mono_s - self.mono_anchor)
+
+    def spans(self) -> List[SpanRecord]:
+        """This tracer's records, aligned onto the wall-clock timeline."""
+        offset = self.wall_anchor - self.mono_anchor
+        return [
+            SpanRecord(kind, name, node, start + offset, duration, count)
+            for kind, name, node, start, duration, count in self.events
+        ]
+
+    def export(self) -> Dict:
+        """Plain-data form for shipping across a process / host boundary.
+
+        The clock anchor travels with the buffer so the receiving side can
+        align the records (:func:`merge_exports`) without any assumption
+        about the sender's monotonic epoch (which differs per process).
+        """
+        return {
+            "node": self.node,
+            "wall_anchor": self.wall_anchor,
+            "mono_anchor": self.mono_anchor,
+            "events": [list(record) for record in self.events],
+        }
+
+
+def merge_exports(exports: Iterable[Dict]) -> List[SpanRecord]:
+    """Align exported tracer buffers onto one wall-clock timeline.
+
+    Each buffer's per-worker clock offset (``wall_anchor - mono_anchor``)
+    converts its monotonic instants to wall time; the merged records are
+    sorted by start.  Buffers from the same machine align exactly; across
+    hosts the alignment is as good as the hosts' wall-clock agreement.
+    """
+    merged: List[SpanRecord] = []
+    for document in exports:
+        offset = document["wall_anchor"] - document["mono_anchor"]
+        for kind, name, node, start, duration, count in document["events"]:
+            merged.append(SpanRecord(kind, name, node, start + offset, duration, count))
+    merged.sort(key=lambda span: span.start_s)
+    return merged

@@ -144,6 +144,8 @@ class ProvenanceLedger:
         self.backend = backend if backend is not None else MemoryLedgerBackend()
         self.retention = retention
         self.read_only = self.backend.read_only
+        #: telemetry span tracer (None = disabled; installed by the obs layer).
+        self.tracer = None
         #: sealed mappings, in seal order (dict preserves insertion).
         self._mappings: Dict[str, SinkMapping] = {}
         #: pending mappings, still accepting unfolded tuples.
@@ -286,10 +288,19 @@ class ProvenanceLedger:
                 for key, pending in self._pending.items()
                 if pending.sink_ts + retention < watermark
             ]
+        if not ready:
+            return
+        tracer = self.tracer
+        if tracer is None:
+            for sink_key in ready:
+                self._seal(sink_key)
+            self.backend.flush()
+            return
+        started = tracer.clock()
         for sink_key in ready:
             self._seal(sink_key)
-        if ready:
-            self.backend.flush()
+        self.backend.flush()
+        tracer.record("ledger.seal", self.name, started, count=len(ready))
 
     def _seal(self, sink_key: str) -> None:
         # Persist first, mutate ledger state after: if a backend append

@@ -272,6 +272,7 @@ class Channel:
         "bytes_sent",
         "consumer",
         "codec",
+        "tracer",
     )
 
     def __init__(
@@ -293,6 +294,11 @@ class Channel:
         #: when the transport is local (cross-process transports wake the
         #: consumer through the pipe instead).
         self.consumer = None
+        #: telemetry span tracer (None = disabled; installed by the obs
+        #: layer).  Deliberately a per-channel slot, not a module global:
+        #: in-process loopback cluster workers share the interpreter and a
+        #: global would cross-contaminate their traces.
+        self.tracer = None
 
     @property
     def transport(self) -> ChannelTransport:
@@ -316,6 +322,8 @@ class Channel:
             self._transport.send(payload)
             self.tuples_sent += 1
             self.bytes_sent += len(payload)
+        if self.tracer is not None:
+            self.tracer.event("channel.send", self.name, count=1)
         self._wake()
 
     def send_many(self, payloads: Iterable[Payload]) -> None:
@@ -329,6 +337,8 @@ class Channel:
             self._transport.send_many(batch)
             self.tuples_sent += len(batch)
             self.bytes_sent += sum(len(payload) for payload in batch)
+        if self.tracer is not None:
+            self.tracer.event("channel.send", self.name, count=len(batch))
         self._wake()
 
     def send_block(self, payload, count: int) -> None:
@@ -344,6 +354,8 @@ class Channel:
             self._transport.send(payload)
             self.tuples_sent += count
             self.bytes_sent += len(payload)
+        if self.tracer is not None:
+            self.tracer.event("channel.send", self.name, count=count)
         self._wake()
 
     def advance_watermark(self, ts: float) -> None:
@@ -351,22 +363,32 @@ class Channel:
         with self._lock:
             advanced = self._transport.advance_watermark(ts)
         if advanced:
+            if self.tracer is not None:
+                self.tracer.event("channel.watermark", self.name)
             self._wake()
 
     def close(self) -> None:
         """Signal that no further tuple will be sent."""
         with self._lock:
             self._transport.close()
+        if self.tracer is not None:
+            self.tracer.event("channel.close", self.name)
         self._wake()
 
     # -- consumer side -----------------------------------------------------
     def receive(self) -> Optional[Payload]:
         """Dequeue one serialised tuple, or None when the channel is empty."""
-        return self._transport.receive()
+        payload = self._transport.receive()
+        if payload is not None and self.tracer is not None:
+            self.tracer.event("channel.recv", self.name, count=1)
+        return payload
 
     def receive_all(self) -> List[Payload]:
         """Dequeue every available serialised tuple."""
-        return self._transport.receive_all()
+        payloads = self._transport.receive_all()
+        if payloads and self.tracer is not None:
+            self.tracer.event("channel.recv", self.name, count=len(payloads))
+        return payloads
 
     # -- state ----------------------------------------------------------------
     @property

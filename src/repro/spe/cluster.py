@@ -53,9 +53,11 @@ stop every other worker immediately and re-raise the *first* failure.
 from __future__ import annotations
 
 import argparse
+import logging
 import pickle
 import selectors
 import socket
+import sys
 import threading
 import time
 import traceback
@@ -90,6 +92,8 @@ from repro.spe.sockets import (
 
 #: how long an idle worker parks on its selector before re-checking state.
 _WAIT_TIMEOUT_S = 0.05
+
+logger = logging.getLogger(__name__)
 
 #: how long the wire step waits for every inbound data socket to appear.
 _WIRE_TIMEOUT_S = 30.0
@@ -284,6 +288,12 @@ class _WorkerSession:
         check_plan_version(body.get("version"))
         self._instance = deserialize_plan(body["plan"])
         self._max_passes = int(body.get("max_passes", 10_000_000))
+        logger.debug(
+            "session on %s: received plan for instance %r (%d bytes)",
+            self._host,
+            self._instance.name,
+            len(body["plan"]),
+        )
         self._listener = _DataListener(self._host)
         host, port = self._listener.address
         _send_control(
@@ -335,10 +345,21 @@ class _WorkerSession:
         return False
 
     def _handle_start(self) -> None:
-        self._expect("start")
+        body = self._expect("start")
         instance = self._instance
         taps = prepare_sinks(instance)
         scheduler = Scheduler(instance, max_passes=self._max_passes)
+        # The start body opts this worker into telemetry: the deserialised
+        # instance builds its *own* tracer (plan-shipped objects never carry
+        # one) and ships the ring home inside the result document.
+        telemetry_options = (body or {}).get("telemetry")
+        if telemetry_options:
+            from repro.obs.telemetry import enable_worker_telemetry
+
+            enable_worker_telemetry(
+                instance, scheduler, int(telemetry_options.get("capacity", 0))
+            )
+        logger.debug("session on %s: starting instance %r", self._host, instance.name)
         # The control socket joins the park selector so a stop request (or a
         # dead coordinator) interrupts an idle worker immediately.
         self._control.setblocking(False)
@@ -384,8 +405,15 @@ class _WorkerSession:
             selector.close()
             self._control.setblocking(True)
         if stopped:
+            logger.info("session on %s: instance %r stopped", self._host, instance.name)
             _send_control(self._control, "stopped", {"instance": instance.name})
             return
+        logger.debug(
+            "session on %s: instance %r finished after %d passes",
+            self._host,
+            instance.name,
+            passes,
+        )
         _send_control(
             self._control, "ok", collect_result(instance, scheduler, passes, taps)
         )
@@ -508,8 +536,14 @@ class ClusterRuntime(_RuntimeBase):
         callback_every: int = 16,
         connect_retries: int = 10,
         connect_backoff_s: float = 0.05,
+        telemetry=None,
     ) -> None:
         super().__init__(instances)
+        #: the run's :class:`repro.obs.telemetry.Telemetry` (None = off);
+        #: each worker records its own spans (opted in through the start
+        #: body), the coordinator records the plan/wire/collect/apply
+        #: phases, and the shipped buffers merge on apply.
+        self.telemetry = telemetry
         self.timeout_s = timeout_s
         self.connect_retries = connect_retries
         self.connect_backoff_s = connect_backoff_s
@@ -581,18 +615,34 @@ class ClusterRuntime(_RuntimeBase):
             session.instance.name: strip_sinks(session.instance)
             for session in self.sessions
         }
+        telemetry = self.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        start_body = (
+            {"telemetry": {"capacity": telemetry.config.capacity}}
+            if telemetry is not None
+            else None
+        )
+
+        def _phase(name: str, step) -> None:
+            if tracer is None:
+                step()
+                return
+            started = tracer.clock()
+            step()
+            tracer.record(name, "workers", started)
+
         try:
-            self._ship_plans()
-            self._wire_channels()
+            _phase("cluster.plan", self._ship_plans)
+            _phase("cluster.wire", self._wire_channels)
             for session in self.sessions:
-                _send_control(session.sock, "start", None)
-            self._collect()
+                _send_control(session.sock, "start", start_body)
+            _phase("cluster.collect", self._collect)
         finally:
             self._shutdown()
             for session in self.sessions:
                 restore_sinks(session.instance, saved_sinks[session.instance.name])
         self._raise_on_failure()
-        self._apply_results()
+        _phase("cluster.apply", self._apply_results)
         return self.rounds
 
     def _ship_plans(self) -> None:
@@ -711,6 +761,12 @@ class ClusterRuntime(_RuntimeBase):
                         # Fail fast: stop the healthy workers instead of
                         # letting them park until the deadline masks the
                         # real failure.
+                        logger.warning(
+                            "worker of instance %r reported %s; stopping the "
+                            "deployment",
+                            session.instance.name,
+                            outcome[0],
+                        )
                         failed = True
                         self._broadcast_stop(exclude=session)
         finally:
@@ -793,7 +849,9 @@ class ClusterRuntime(_RuntimeBase):
             self.results[session.instance.name] = document
             self.rounds += document["passes"]
             self._wakeups += document["wakeups"]
-            apply_instance_result(session.instance, document, by_channel)
+            apply_instance_result(
+                session.instance, document, by_channel, telemetry=self.telemetry
+            )
 
     # -- introspection -------------------------------------------------------
     def total_wakeups(self) -> int:
@@ -833,14 +891,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         required=True,
         help="bind address of the worker daemon (port 0 picks an ephemeral port)",
     )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="stdlib logging threshold of the daemon (default: info)",
+    )
     options = parser.parse_args(argv)
     try:
         host, port = parse_address(options.serve)
     except ValueError as exc:
         parser.error(str(exc))
+    # The daemon logs to stdout so supervisors (and the coordinator spawning
+    # it) read one stream; the serving banner below is the line they parse
+    # for the bound (possibly ephemeral) port.
+    logging.basicConfig(
+        level=getattr(logging, options.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        stream=sys.stdout,
+        force=True,
+    )
     worker = ClusterWorker(host, port)
     bound_host, bound_port = worker.address
-    print(f"cluster worker serving on {bound_host}:{bound_port}", flush=True)
+    logger.info("cluster worker serving on %s:%d", bound_host, bound_port)
     try:
         worker.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive use

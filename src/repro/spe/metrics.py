@@ -22,9 +22,26 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
+def percentile_of_sorted(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already *sorted* sample.
+
+    ``q`` is a fraction in [0, 1].  Empty input yields 0.0 so callers can
+    report it without special-casing.
+    """
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
 @dataclass
 class StatSummary:
-    """Mean / min / max / stdev / 95% confidence half-width of a sample."""
+    """Mean / min / max / stdev / percentiles / 95% CI half-width of a sample."""
 
     count: int
     mean: float
@@ -32,6 +49,9 @@ class StatSummary:
     maximum: float
     stdev: float
     ci95: float
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
 
     @classmethod
     def of(cls, samples: Sequence[float]) -> "StatSummary":
@@ -48,13 +68,17 @@ class StatSummary:
         else:
             stdev = 0.0
             ci95 = 0.0
+        ordered = sorted(values)
         return cls(
             count=count,
             mean=mean,
-            minimum=min(values),
-            maximum=max(values),
+            minimum=ordered[0],
+            maximum=ordered[-1],
             stdev=stdev,
             ci95=ci95,
+            p50=percentile_of_sorted(ordered, 0.50),
+            p95=percentile_of_sorted(ordered, 0.95),
+            p99=percentile_of_sorted(ordered, 0.99),
         )
 
 

@@ -46,6 +46,7 @@ workers park until the timeout and masking the root cause.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 import traceback
@@ -68,12 +69,30 @@ from repro.spe.shipping import (
 #: stop event (a safety net; pipe readiness is the primary wake-up signal).
 _WAIT_TIMEOUT_S = 0.05
 
+logger = logging.getLogger(__name__)
 
-def _run_worker(instance: SPEInstance, stop_event, result_conn, max_passes: int) -> None:
-    """Child-process entry point: drive one instance to quiescence."""
+
+def _run_worker(
+    instance: SPEInstance,
+    stop_event,
+    result_conn,
+    max_passes: int,
+    telemetry_capacity: int = 0,
+) -> None:
+    """Child-process entry point: drive one instance to quiescence.
+
+    ``telemetry_capacity`` > 0 opts this worker into span recording: the
+    forked instance builds its *own* tracer (a forked copy of a
+    coordinator-side tracer could never ship its buffer back) and the ring
+    rides home inside the result document.
+    """
     try:
         taps = prepare_sinks(instance)
         scheduler = Scheduler(instance, max_passes=max_passes)
+        if telemetry_capacity > 0:
+            from repro.obs.telemetry import enable_worker_telemetry
+
+            enable_worker_telemetry(instance, scheduler, telemetry_capacity)
         waitable = {}
         for receive in instance.receives():
             transport = receive.channel.transport
@@ -151,8 +170,13 @@ class MultiprocessRuntime(_RuntimeBase):
         max_rounds: int = 10_000_000,
         round_callback=None,
         callback_every: int = 16,
+        telemetry=None,
     ) -> None:
         super().__init__(instances)
+        #: the run's :class:`repro.obs.telemetry.Telemetry` (None = off);
+        #: workers record their own spans, the coordinator records the
+        #: collect/apply phases, and the shipped buffers merge on apply.
+        self.telemetry = telemetry
         if start_method not in multiprocessing.get_all_start_methods():
             raise SchedulingError(
                 f"multiprocess execution needs the {start_method!r} start "
@@ -188,29 +212,50 @@ class MultiprocessRuntime(_RuntimeBase):
         stop_event = self._ctx.Event()
         self._stop_event = stop_event
         self.workers = []
+        telemetry = self.telemetry
+        capacity = telemetry.config.capacity if telemetry is not None else 0
         for instance in self.instances:
             recv_conn, send_conn = self._ctx.Pipe(duplex=False)
             process = self._ctx.Process(
                 target=_run_worker,
-                args=(instance, stop_event, send_conn, self.max_rounds),
+                args=(instance, stop_event, send_conn, self.max_rounds, capacity),
                 name=f"spe-{instance.name}",
                 daemon=True,
             )
             self.workers.append(_Worker(instance, process, recv_conn))
+        logger.debug(
+            "starting %d worker process(es): %s",
+            len(self.workers),
+            [worker.instance.name for worker in self.workers],
+        )
         for worker in self.workers:
             worker.process.start()
+        tracer = telemetry.tracer if telemetry is not None else None
         try:
-            self._collect(stop_event)
+            if tracer is None:
+                self._collect(stop_event)
+            else:
+                started = tracer.clock()
+                self._collect(stop_event)
+                tracer.record("process.collect", "workers", started)
         finally:
             stop_event.set()
             for worker in self.workers:
                 worker.process.join(timeout=5.0)
             for worker in self.workers:
                 if worker.process.is_alive():  # pragma: no cover - last resort
+                    logger.warning(
+                        "terminating unresponsive worker %r", worker.instance.name
+                    )
                     worker.process.terminate()
                     worker.process.join(timeout=5.0)
         self._raise_on_failure()
-        self._apply_results()
+        if tracer is None:
+            self._apply_results()
+        else:
+            started = tracer.clock()
+            self._apply_results()
+            tracer.record("process.apply", "results", started)
         return self.rounds
 
     def _collect(self, stop_event) -> None:
@@ -253,6 +298,11 @@ class MultiprocessRuntime(_RuntimeBase):
                 if worker.outcome[0] in ("error", "died"):
                     # Fail fast: stop the healthy workers instead of letting
                     # them park until the deadline masks the real failure.
+                    logger.warning(
+                        "worker %r reported %s; stopping the deployment",
+                        worker.instance.name,
+                        worker.outcome[0],
+                    )
                     stop_event.set()
 
     def _raise_on_failure(self) -> None:
@@ -289,7 +339,9 @@ class MultiprocessRuntime(_RuntimeBase):
             self.results[worker.instance.name] = document
             self.rounds += document["passes"]
             self._wakeups += document["wakeups"]
-            apply_instance_result(worker.instance, document, by_channel)
+            apply_instance_result(
+                worker.instance, document, by_channel, telemetry=self.telemetry
+            )
 
     # -- introspection ------------------------------------------------------------
     def total_wakeups(self) -> int:

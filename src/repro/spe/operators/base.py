@@ -34,6 +34,10 @@ class Operator:
     max_inputs: Optional[int] = 1
     #: maximum number of output streams (None means unbounded).
     max_outputs: Optional[int] = 1
+    #: telemetry span tracer.  A *class* attribute defaulting to None so
+    #: unpickled plan operators carry no instance state; the obs layer sets
+    #: it per instance when telemetry is enabled.
+    tracer = None
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -203,7 +207,13 @@ class SingleInputOperator(Operator):
         batch = stream.pop_ready()
         if batch:
             self.tuples_in += len(batch)
-            self.process_batch(batch)
+            tracer = self.tracer
+            if tracer is None:
+                self.process_batch(batch)
+            else:
+                started = tracer.clock()
+                self.process_batch(batch)
+                tracer.record("operator.batch", self.name, started, count=len(batch))
             self._progress = True
         watermark = stream.watermark
         if watermark > self._in_watermark:
@@ -366,7 +376,18 @@ class MultiInputOperator(Operator):
                 self._progress = True
             watermark = inputs[0].watermark
         else:
-            self._drain_merged()
+            tracer = self.tracer
+            if tracer is None:
+                self._drain_merged()
+            else:
+                started = tracer.clock()
+                before = self.tuples_in
+                self._drain_merged()
+                consumed = self.tuples_in - before
+                if consumed:
+                    tracer.record(
+                        "operator.batch", self.name, started, count=consumed
+                    )
             watermark = min(stream.watermark for stream in inputs)
         if watermark > self._in_watermark:
             self._in_watermark = watermark

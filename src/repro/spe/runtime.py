@@ -96,6 +96,18 @@ class _RuntimeBase:
         """Operator wake-ups / ``work`` calls summed over all instances."""
         return sum(scheduler.wakeups for scheduler in self._schedulers)
 
+    # -- telemetry ------------------------------------------------------------------
+    def install_tracer(self, tracer) -> None:
+        """Record every instance's wake-up spans into ``tracer``.
+
+        Each scheduler keeps its own ``trace_node`` (the instance name), so
+        one coordinator-resident tracer yields per-instance timeline lanes --
+        the in-process analogue of the per-worker tracers the process and
+        cluster runtimes ship back.
+        """
+        for scheduler in self._schedulers:
+            scheduler.tracer = tracer
+
 
 class DistributedRuntime(_RuntimeBase):
     """Readiness-driven coordination of a set of SPE instances.

@@ -54,6 +54,11 @@ class Scheduler:
         self.callback_every = max(1, callback_every)
         #: number of operator wake-ups executed so far.
         self.wakeups = 0
+        #: telemetry span tracer (None = disabled; installed by the obs layer).
+        self.tracer = None
+        #: timeline lane the wake-up spans are recorded under (the instance
+        #: name for distributed deployments, the query name intra-process).
+        self.trace_node = query.name
         self._ready: Deque[Operator] = deque()
         self._unfinished: Set[Operator] = set()
         self._started = False
@@ -103,6 +108,7 @@ class Scheduler:
         progress = False
         ready = self._ready
         rescheduled = []
+        tracer = self.tracer
         self._draining = True
         try:
             while ready:
@@ -114,8 +120,17 @@ class Scheduler:
                 operator = ready.popleft()
                 operator._queued = False
                 operator.work_calls += 1
-                if operator.work():
-                    progress = True
+                if tracer is None:
+                    if operator.work():
+                        progress = True
+                else:
+                    started = tracer.clock()
+                    worked = operator.work()
+                    tracer.record(
+                        "operator.work", operator.name, started, node=self.trace_node
+                    )
+                    if worked:
+                        progress = True
                 self.wakeups += 1
                 if (
                     self.pass_callback is not None
@@ -191,6 +206,10 @@ class PollingScheduler:
         self.pass_callback = pass_callback
         self.callback_every = max(1, callback_every)
         self.passes = 0
+        #: telemetry span tracer (None = disabled), same contract as
+        #: :class:`Scheduler` so both cores emit comparable wake-up spans.
+        self.tracer = None
+        self.trace_node = query.name
         self._order: Optional[List[Operator]] = None
 
     def _operators(self) -> List[Operator]:
@@ -202,10 +221,20 @@ class PollingScheduler:
     def step(self) -> bool:
         """Run one pass over every operator; return True if anything progressed."""
         progress = False
+        tracer = self.tracer
         for operator in self._operators():
             operator.work_calls += 1
-            if operator.work_per_tuple():
-                progress = True
+            if tracer is None:
+                if operator.work_per_tuple():
+                    progress = True
+            else:
+                started = tracer.clock()
+                worked = operator.work_per_tuple()
+                tracer.record(
+                    "operator.work", operator.name, started, node=self.trace_node
+                )
+                if worked:
+                    progress = True
         self.passes += 1
         if self.pass_callback is not None and self.passes % self.callback_every == 0:
             self.pass_callback(self.passes)

@@ -137,6 +137,7 @@ def collect_result(
 ) -> Dict:
     """Everything the coordinator needs to reconstruct this instance's run."""
     manager = instance_manager(instance)
+    tracer = getattr(scheduler, "tracer", None)
     return {
         "instance": instance.name,
         "passes": passes,
@@ -158,6 +159,9 @@ def collect_result(
             for sink in instance.sinks()
         },
         "traversal_times_s": list(getattr(manager, "traversal_times_s", ())),
+        # The worker's span ring + clock anchor (None when telemetry is off);
+        # the coordinator aligns it onto the merged timeline.
+        "telemetry": tracer.export() if tracer is not None else None,
     }
 
 
@@ -198,13 +202,18 @@ def replay_sink(sink: SinkOperator, shipped: Dict) -> None:
 
 
 def apply_instance_result(
-    instance: SPEInstance, document: Dict, channels_by_name: Mapping[str, Channel]
+    instance: SPEInstance,
+    document: Dict,
+    channels_by_name: Mapping[str, Channel],
+    telemetry=None,
 ) -> None:
     """Copy one worker's shipped counters / sink streams onto the coordinator.
 
     ``document`` is the value :func:`collect_result` produced in the worker;
     ``channels_by_name`` maps channel names onto the *coordinator-side*
     channel objects (worker counters are shipped back by channel name).
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) adopts the
+    worker's shipped span buffer, if any.
     """
     for operator in instance.operators:
         counters = document["operators"].get(operator.name)
@@ -220,6 +229,8 @@ def apply_instance_result(
     samples = document.get("traversal_times_s") or ()
     if samples and manager is not None:
         getattr(manager, "traversal_times_s", []).extend(samples)
+    if telemetry is not None:
+        telemetry.merge_worker(document.get("telemetry"))
 
 
 def require_unique_channel_names(channels: List[Channel], runtime: str) -> None:

@@ -18,6 +18,7 @@ the operator-chaining optimisation the paper describes.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import List, Optional
@@ -25,6 +26,8 @@ from typing import List, Optional
 from repro.spe.errors import SchedulingError
 from repro.spe.instance import SPEInstance
 from repro.spe.scheduler import Scheduler
+
+logger = logging.getLogger(__name__)
 
 
 class InstanceWorker(threading.Thread):
@@ -111,6 +114,11 @@ class ThreadedRuntime:
         its wake event until the run deadline, and the resulting timeout
         error would mask the original exception.
         """
+        logger.warning(
+            "worker thread of instance %r failed (%r); stopping the deployment",
+            worker.instance.name,
+            worker.error,
+        )
         with self._failure_lock:
             self._failed.append(worker)
         self._stop_event.set()

@@ -419,6 +419,7 @@ def query_pipeline(
     parallelism: int = 1,
     hosts=None,
     codec: str = "binary",
+    telemetry=None,
 ) -> Pipeline:
     """A ready-to-run :class:`Pipeline` for query ``name``.
 
@@ -452,6 +453,7 @@ def query_pipeline(
         execution=execution,
         hosts=hosts,
         codec=codec,
+        telemetry=telemetry,
     )
 
 
