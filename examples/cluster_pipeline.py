@@ -31,6 +31,22 @@ from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
 from repro.workloads.queries import query_dataflow, query_placement
 
 
+def analysis_pipelines():
+    """The pipelines this example runs, for ``python -m repro.analysis``."""
+    config = LinearRoadConfig(n_cars=5, duration_s=300.0, seed=11)
+    return [
+        (
+            "q1-cluster",
+            Pipeline(
+                query_dataflow("q1", LinearRoadGenerator(config).tuples),
+                provenance="GL",
+                placement=query_placement("q1"),
+                execution="cluster",
+            ),
+        )
+    ]
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cars", type=int, default=30, help="number of cars")

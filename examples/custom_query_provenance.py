@@ -79,6 +79,16 @@ def build_maintenance_dataflow(supplier) -> Dataflow:
     return df
 
 
+def analysis_pipelines():
+    """The pipelines this example runs, for ``python -m repro.analysis``."""
+    return [
+        (
+            "predictive-maintenance",
+            Pipeline(build_maintenance_dataflow(telemetry), provenance="genealog"),
+        )
+    ]
+
+
 def main() -> None:
     # The Pipeline adds the SU operator and the provenance sink
     # (Theorem 5.3), installs GeneaLog's instrumentation on every operator,

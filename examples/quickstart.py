@@ -60,6 +60,11 @@ def broken_down_cars() -> Dataflow:
     return df
 
 
+def analysis_pipelines():
+    """The pipelines this example runs, for ``python -m repro.analysis``."""
+    return [("quickstart", Pipeline(broken_down_cars(), provenance="genealog"))]
+
+
 def main() -> None:
     # provenance="genealog" splices an SU operator in front of the Sink and a
     # provenance Sink collecting the unfolded stream (section 5 of the

@@ -52,6 +52,21 @@ def describe_anomalies(result) -> None:
         )
 
 
+def analysis_pipelines():
+    """The pipelines this example runs, for ``python -m repro.analysis``."""
+    config = SmartGridConfig(n_meters=5, n_days=2, seed=7)
+    return [
+        (
+            name,
+            Pipeline(
+                query_dataflow(name, SmartGridGenerator(config).tuples),
+                provenance="genealog",
+            ),
+        )
+        for name in ("q3", "q4")
+    ]
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--meters", type=int, default=40, help="number of smart meters")

@@ -20,6 +20,20 @@ from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
 from repro.workloads.queries import query_dataflow
 
 
+def analysis_pipelines():
+    """The pipelines this example runs, for ``python -m repro.analysis``."""
+    config = LinearRoadConfig(n_cars=5, duration_s=300.0, seed=42)
+    return [
+        (
+            "q2-accidents",
+            Pipeline(
+                query_dataflow("q2", LinearRoadGenerator(config).tuples),
+                provenance="genealog",
+            ),
+        )
+    ]
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--cars", type=int, default=40, help="number of cars on the highway")

@@ -1,0 +1,181 @@
+"""``python -m repro.analysis`` -- analyze the shipped plans without running them.
+
+Sweeps the paper's four queries across every deployment the repository
+ships (intra/inter process, sequential and sharded, NP/GL/BL provenance)
+plus the pipelines declared by the ``examples/`` scripts (their
+``analysis_pipelines()`` hooks), prints one line per clean plan and the
+full diagnostics of every flagged one, and optionally exports the merged
+JSON document consumed by CI.
+
+Exit status: 0 when no error-severity diagnostic fired anywhere (warnings
+never fail the sweep unless ``--strict`` is given, which also promotes the
+exit code on warnings-free-but-errored plans -- i.e. ``--strict`` fails on
+errors; without it the CLI only reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import AnalysisReport, merged_document
+from repro.analysis.rules import ALL_RULES
+
+#: the workload sweep: (query, deployment, parallelism, provenance mode).
+WORKLOAD_MATRIX: Tuple[Tuple[str, str, int, str], ...] = tuple(
+    (query, deployment, parallelism, mode)
+    for query in ("q1", "q2", "q3", "q4")
+    for deployment in ("intra", "inter")
+    for parallelism in (1, 2)
+    for mode in ("NP", "GL", "BL")
+)
+
+
+def _workload_reports() -> Iterable[Tuple[dict, AnalysisReport]]:
+    """Analyze every (query, deployment, parallelism, mode) combination."""
+    from repro.workloads.linear_road import LinearRoadConfig, LinearRoadGenerator
+    from repro.workloads.queries import query_pipeline
+    from repro.workloads.smart_grid import SmartGridConfig, SmartGridGenerator
+
+    def supplier(query: str) -> Callable[[], Iterable[dict]]:
+        if query in ("q1", "q2"):
+            return LinearRoadGenerator(
+                LinearRoadConfig(n_cars=5, duration_s=300.0, seed=1)
+            ).tuples
+        return SmartGridGenerator(SmartGridConfig(n_meters=5, n_days=1, seed=1)).tuples
+
+    for query, deployment, parallelism, mode in WORKLOAD_MATRIX:
+        pipeline = query_pipeline(
+            query,
+            supplier(query),
+            mode=mode,
+            deployment=deployment,
+            parallelism=parallelism,
+        )
+        extra = {
+            "target": "workload",
+            "query": query,
+            "deployment": deployment,
+            "parallelism": parallelism,
+            "provenance": mode,
+        }
+        yield extra, pipeline.analyze()
+
+
+def _example_reports(examples_dir: Path) -> Iterable[Tuple[dict, AnalysisReport]]:
+    """Analyze the pipelines declared by the example scripts' hooks."""
+    for path in sorted(examples_dir.glob("*.py")):
+        spec = importlib.util.spec_from_file_location(f"_analysis_{path.stem}", path)
+        if spec is None or spec.loader is None:  # pragma: no cover - defensive
+            continue
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        hook = getattr(module, "analysis_pipelines", None)
+        if hook is None:
+            continue
+        for label, pipeline in hook():
+            extra = {"target": "example", "example": path.name, "label": label}
+            yield extra, pipeline.analyze()
+
+
+def default_examples_dir() -> Optional[Path]:
+    """The repository ``examples/`` directory, if this is a source checkout."""
+    candidate = Path(__file__).resolve().parents[3] / "examples"
+    return candidate if candidate.is_dir() else None
+
+
+def _print_rules() -> None:
+    width = max(len(rule.id) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        print(f"{rule.id:<{width}}  {rule.severity:<7}  [{rule.family}] {rule.summary}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically analyze the shipped query plans and examples.",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the merged JSON document to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any error-severity diagnostic fires",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--no-examples",
+        action="store_true",
+        help="skip the examples/ sweep (workload matrix only)",
+    )
+    parser.add_argument(
+        "--examples-dir",
+        metavar="DIR",
+        default=None,
+        help="directory holding the example scripts (default: the repo's examples/)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        _print_rules()
+        return 0
+
+    collected: List[Tuple[dict, AnalysisReport]] = list(_workload_reports())
+    if not args.no_examples:
+        examples_dir = (
+            Path(args.examples_dir) if args.examples_dir else default_examples_dir()
+        )
+        if examples_dir is None:
+            print("examples/ not found; analyzing the workload matrix only")
+        else:
+            collected.extend(_example_reports(examples_dir))
+
+    flagged = 0
+    errored = 0
+    for extra, report in collected:
+        label = ", ".join(f"{k}={v}" for k, v in extra.items())
+        if report.diagnostics:
+            flagged += 1
+            if report.errors:
+                errored += 1
+            print(f"FLAGGED  {label}")
+            for diagnostic in report.diagnostics:
+                print(f"  {diagnostic}")
+        else:
+            print(f"clean    {label}")
+
+    document = merged_document(collected)
+    summary = document["summary"]
+    print(
+        f"\n{summary['analyzed']} plan(s) analyzed: {summary['clean']} clean, "
+        f"{summary['error']} error(s), {summary['warning']} warning(s), "
+        f"{summary['info']} info"
+    )
+
+    if args.json:
+        payload = json.dumps(document, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n")
+            print(f"JSON document written to {args.json}")
+
+    if args.strict and errored:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

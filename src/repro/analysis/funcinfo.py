@@ -1,0 +1,572 @@
+"""AST fact extraction for user functions referenced by a plan.
+
+The analyzer needs three kinds of facts about a map/filter/aggregate/join
+function without calling it:
+
+* which value fields it reads off its tuple parameters (schema checking),
+* which value fields its outputs carry (schema propagation), and
+* whether it mutates captured cells/globals or calls nondeterministic
+  builtins (the concurrency/determinism lint).
+
+Facts come from ``inspect``-recovered source parsed with :mod:`ast`.  Lambdas
+defined mid-expression defeat ``inspect.getsource`` (it returns the whole
+statement, which rarely parses on its own), so the extractor parses the
+*defining module file* once and locates the exact ``Lambda``/``FunctionDef``
+node by ``co_firstlineno`` and argument names.  Functions whose source cannot
+be recovered (builtins, C extensions, REPL definitions) yield
+``resolved=False`` facts and every rule consuming them stays silent -- the
+lint must never invent a violation it cannot point at.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import random
+import types
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+#: sentinel produced-fields value: the function passes its input through
+#: (possibly re-timestamped); output schema = input schema (+ extras).
+PASSTHROUGH = "passthrough"
+
+#: method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault", "pop",
+        "popitem", "popleft", "appendleft", "remove", "discard", "clear",
+        "sort", "reverse", "write", "writelines", "put", "put_nowait",
+    }
+)
+
+#: module-level functions that mutate their first argument in place.
+_MUTATING_FUNCTIONS = frozenset({"heappush", "heappop", "heapify", "setattr", "delattr"})
+
+#: ``time`` module functions that read a clock.
+_TIME_FUNCTIONS = frozenset(
+    {
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns", "process_time", "process_time_ns", "clock_gettime",
+    }
+)
+
+#: ``datetime`` attribute names that read a clock.
+_DATETIME_NOW = frozenset({"now", "utcnow", "today"})
+
+#: builtins that pull tuple elements out of containers transparently.
+_CONTAINER_PASSTHROUGH = frozenset({"sorted", "list", "tuple", "reversed", "iter", "next"})
+
+
+@dataclass(frozen=True)
+class FunctionFacts:
+    """Everything the rules need to know about one user function."""
+
+    name: str
+    #: False when source recovery failed; every other field is then empty.
+    resolved: bool
+    params: Tuple[str, ...] = ()
+    #: value fields read (hard ``[...]`` subscripts) per parameter name.
+    field_reads: Mapping[str, FrozenSet[str]] = field(default_factory=dict)
+    #: value fields the outputs carry; None = unknown.
+    produced_fields: Optional[FrozenSet[str]] = None
+    #: True when (some) outputs pass the input tuple's payload through.
+    passthrough: bool = False
+    #: captured closure cells the function writes or mutates.
+    mutated_captured: Tuple[str, ...] = ()
+    #: module globals the function writes or mutates.
+    mutated_globals: Tuple[str, ...] = ()
+    #: nondeterministic calls, as dotted display names (``random.random``).
+    nondet_calls: Tuple[str, ...] = ()
+
+    def reads_of(self, param_index: int) -> FrozenSet[str]:
+        if not self.resolved or param_index >= len(self.params):
+            return frozenset()
+        return frozenset(self.field_reads.get(self.params[param_index], ()))
+
+    @property
+    def mutates_state(self) -> bool:
+        return bool(self.mutated_captured or self.mutated_globals)
+
+
+_UNRESOLVED = FunctionFacts(name="<unresolved>", resolved=False)
+
+
+@dataclass
+class _RawFacts:
+    """Per-code-object facts, before globals/closure resolution."""
+
+    params: Tuple[str, ...]
+    field_reads: Dict[str, Set[str]]
+    produced: Optional[object]  # frozenset | PASSTHROUGH-marked tuple | None
+    passthrough: bool
+    produced_unknown: bool
+    stored_names: Set[str]  # names written via nonlocal/global declarations
+    mutated_bases: Set[str]  # non-local names mutated in place
+    call_chains: List[Tuple[str, Tuple[str, ...]]]  # (root name, attr path)
+    local_names: Set[str]
+
+
+# -- module source cache ----------------------------------------------------
+_TREE_CACHE: Dict[str, Tuple[float, Optional[ast.Module]]] = {}
+
+
+def _module_tree(filename: str) -> Optional[ast.Module]:
+    try:
+        mtime = Path(filename).stat().st_mtime
+    except OSError:
+        return None
+    cached = _TREE_CACHE.get(filename)
+    if cached is not None and cached[0] == mtime:
+        return cached[1]
+    try:
+        source = Path(filename).read_text()
+        tree: Optional[ast.Module] = ast.parse(source)
+    except (OSError, SyntaxError, ValueError):
+        tree = None
+    _TREE_CACHE[filename] = (mtime, tree)
+    return tree
+
+
+def _positional_params(code: types.CodeType) -> Tuple[str, ...]:
+    return code.co_varnames[: code.co_argcount]
+
+
+def _find_def_node(code: types.CodeType) -> Optional[ast.AST]:
+    """Locate the AST node that compiled into ``code``."""
+    tree = _module_tree(code.co_filename)
+    if tree is None:
+        return None
+    params = _positional_params(code)
+    candidates: List[ast.AST] = []
+    for node in ast.walk(tree):
+        if code.co_name == "<lambda>":
+            if not isinstance(node, ast.Lambda):
+                continue
+        elif not (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == code.co_name
+        ):
+            continue
+        if node.lineno != code.co_firstlineno:
+            continue
+        node_params = tuple(
+            a.arg for a in (node.args.posonlyargs + node.args.args)
+        )
+        if node_params == params:
+            candidates.append(node)
+    if len(candidates) == 1:
+        return candidates[0]
+    if not candidates and code.co_name != "<lambda>":
+        # Decorated defs: co_firstlineno can point at the decorator line.
+        named = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == code.co_name
+            and abs(node.lineno - code.co_firstlineno) <= 8
+        ]
+        if len(named) == 1:
+            return named[0]
+    return None
+
+
+# -- expression helpers -----------------------------------------------------
+def _root_name(expr: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _param_base(expr: ast.AST, aliases: Mapping[str, str]) -> Optional[str]:
+    """The parameter ``expr`` denotes a tuple (or container of tuples) of.
+
+    Passes through ``.values`` attribute access, non-string subscripts
+    (``window[-1]``, ``window[1:]``) and transparent container builtins
+    (``sorted(window)``); stops at string subscripts (``t["a"]["b"]``
+    reaches into a *payload value*, not the tuple).
+    """
+    if isinstance(expr, ast.Name):
+        return aliases.get(expr.id)
+    if isinstance(expr, ast.Attribute) and expr.attr == "values":
+        return _param_base(expr.value, aliases)
+    if isinstance(expr, ast.Subscript):
+        index = expr.slice
+        if isinstance(index, ast.Constant) and isinstance(index.value, str):
+            return None
+        return _param_base(expr.value, aliases)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _CONTAINER_PASSTHROUGH
+            and expr.args
+        ):
+            return _param_base(expr.args[0], aliases)
+        return None
+    return None
+
+
+def _dict_literal_keys(expr: ast.AST) -> Optional[FrozenSet[str]]:
+    if not isinstance(expr, ast.Dict):
+        return None
+    keys: Set[str] = set()
+    for key in expr.keys:
+        if key is None:  # ``**spread`` -- unknown contents
+            return None
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.add(key.value)
+    return frozenset(keys)
+
+
+def _produced_of_expr(
+    expr: ast.AST, aliases: Mapping[str, str]
+) -> Tuple[Optional[FrozenSet[str]], bool, bool]:
+    """``(fields, passthrough, known)`` for one returned/yielded expression."""
+    keys = _dict_literal_keys(expr)
+    if keys is not None:
+        return keys, False, True
+    if _param_base(expr, aliases) is not None:
+        return frozenset(), True, True
+    if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+        return _produced_of_expr(expr.elt, aliases)
+    if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+        fields: Set[str] = set()
+        passthrough = False
+        for element in expr.elts:
+            element_fields, element_pass, known = _produced_of_expr(element, aliases)
+            if not known:
+                return None, False, False
+            passthrough = passthrough or element_pass
+            fields |= element_fields or set()
+        return frozenset(fields), passthrough, True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        # StreamTuple(ts, values=...) / StreamTuple.owned(ts, values=...)
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        values_arg: Optional[ast.AST] = None
+        for keyword in expr.keywords:
+            if keyword.arg == "values":
+                values_arg = keyword.value
+        if (
+            callee in ("StreamTuple", "owned", "derive")
+            and values_arg is None
+            and len(expr.args) >= 2
+        ):
+            values_arg = expr.args[1]
+        if callee in ("StreamTuple", "owned"):
+            if values_arg is None:
+                return frozenset(), False, True  # empty payload
+            keys = _dict_literal_keys(values_arg)
+            if keys is not None:
+                return keys, False, True
+            if _param_base(values_arg, aliases) is not None:
+                return frozenset(), True, True
+            return None, False, False
+        if callee == "derive" and isinstance(func, ast.Attribute):
+            base = _param_base(func.value, aliases)
+            if values_arg is None:
+                if base is not None:
+                    return frozenset(), True, True
+                return None, False, False
+            keys = _dict_literal_keys(values_arg)
+            if keys is not None:
+                return keys, False, True
+            return None, False, False
+        if callee == "copy" and isinstance(func, ast.Attribute):
+            if _param_base(func.value, aliases) is not None:
+                return frozenset(), True, True
+    return None, False, False
+
+
+# -- the extraction visitor -------------------------------------------------
+def _collect_aliases(
+    fn_node: ast.AST, params: Tuple[str, ...]
+) -> Dict[str, str]:
+    """Names that denote (containers of) a parameter's tuples."""
+    aliases: Dict[str, str] = {name: name for name in params}
+    body = (
+        fn_node.body
+        if isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        else [fn_node.body]
+    )
+    # Two passes reach aliases of aliases (w = sorted(window); for t in w).
+    for _ in range(2):
+        for node in ast.walk(ast.Module(body=list(body), type_ignores=[])):
+            if isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+                base = _param_base(node.iter, aliases)
+                if base is not None:
+                    aliases.setdefault(node.target.id, base)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    if isinstance(generator.target, ast.Name):
+                        base = _param_base(generator.iter, aliases)
+                        if base is not None:
+                            aliases.setdefault(generator.target.id, base)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    base = _param_base(node.value, aliases)
+                    if base is not None:
+                        aliases.setdefault(target.id, base)
+    return aliases
+
+
+def _own_returns(fn_node: ast.AST) -> List[ast.AST]:
+    """Return/yield expressions of this function, not of nested defs."""
+    if isinstance(fn_node, ast.Lambda):
+        return [fn_node.body]
+    values: List[ast.AST] = []
+    stack: List[ast.AST] = list(fn_node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Return) and node.value is not None:
+            values.append(node.value)
+        if isinstance(node, (ast.Yield,)) and node.value is not None:
+            values.append(node.value)
+        stack.extend(ast.iter_child_nodes(node))
+    return values
+
+
+def _collect_locals(fn_node: ast.AST, params: Tuple[str, ...]) -> Tuple[Set[str], Set[str]]:
+    """``(local names, nonlocal/global-declared names)`` across the body."""
+    local: Set[str] = set(params)
+    declared: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not fn_node:
+                local.add(node.name)
+            for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+                local.add(arg.arg)
+        elif isinstance(node, ast.Lambda):
+            for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+                local.add(arg.arg)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            local.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                local.add((alias.asname or alias.name).split(".")[0])
+    local -= declared
+    return local, declared
+
+
+def _attr_chain(expr: ast.AST) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """``datetime.datetime.now`` -> ``("datetime", ("datetime", "now"))``."""
+    attrs: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        attrs.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id, tuple(reversed(attrs))
+    return None
+
+
+@functools.lru_cache(maxsize=512)
+def _raw_facts(code: types.CodeType) -> Optional[_RawFacts]:
+    fn_node = _find_def_node(code)
+    if fn_node is None:
+        return None
+    params = _positional_params(code)
+    aliases = _collect_aliases(fn_node, params)
+    local_names, declared = _collect_locals(fn_node, params)
+
+    field_reads: Dict[str, Set[str]] = {}
+    mutated_bases: Set[str] = set()
+    stored_names: Set[str] = set()
+    call_chains: List[Tuple[str, Tuple[str, ...]]] = []
+
+    def note_mutation_base(expr: ast.AST) -> None:
+        root = _root_name(expr)
+        if root is not None and root not in local_names:
+            mutated_bases.add(root)
+
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Subscript):
+            index = node.slice
+            if isinstance(index, ast.Constant) and isinstance(index.value, str):
+                base = _param_base(node.value, aliases)
+                if base is not None:
+                    field_reads.setdefault(base, set()).add(index.value)
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain is not None:
+                call_chains.append(chain)
+                root, attrs = chain
+                if attrs and attrs[-1] in _MUTATING_METHODS:
+                    note_mutation_base(node.func.value)  # type: ignore[attr-defined]
+                if not attrs and root in _MUTATING_FUNCTIONS and node.args:
+                    note_mutation_base(node.args[0])
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in declared:
+                        stored_names.add(target.id)
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    note_mutation_base(target.value)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    stored_names.add(target.id)
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    note_mutation_base(target.value)
+
+    produced: Optional[Set[str]] = set()
+    passthrough = False
+    produced_unknown = False
+    for value in _own_returns(fn_node):
+        fields, is_pass, known = _produced_of_expr(value, aliases)
+        if not known:
+            produced_unknown = True
+            break
+        passthrough = passthrough or is_pass
+        produced |= set(fields or ())  # type: ignore[arg-type]
+    return _RawFacts(
+        params=params,
+        field_reads=field_reads,
+        produced=None if produced_unknown else frozenset(produced or ()),
+        passthrough=passthrough,
+        produced_unknown=produced_unknown,
+        stored_names=stored_names,
+        mutated_bases=mutated_bases,
+        call_chains=call_chains,
+        local_names=local_names,
+    )
+
+
+# -- nondeterminism classification ------------------------------------------
+def _is_nondet(resolved: Any, attrs: Tuple[str, ...]) -> bool:
+    """Does calling ``resolved``(.attrs...) read a clock or entropy source?"""
+    if isinstance(resolved, types.ModuleType):
+        module = resolved.__name__
+        leaf = attrs[-1] if attrs else ""
+        if module == "random":
+            return bool(attrs) and leaf != "Random"
+        if module == "secrets":
+            return bool(attrs)
+        if module == "time":
+            return leaf in _TIME_FUNCTIONS
+        if module == "datetime":
+            return leaf in _DATETIME_NOW
+        if module == "uuid":
+            return leaf in ("uuid1", "uuid4")
+        if module == "os":
+            return leaf in ("urandom", "getrandom")
+        return False
+    module = getattr(resolved, "__module__", None) or ""
+    name = getattr(resolved, "__name__", None) or ""
+    if module == "random" or isinstance(resolved, random.Random):
+        if isinstance(resolved, type):
+            return False  # random.Random subclass being constructed
+        if attrs:  # a Random instance method: stateful shared RNG
+            return True
+        return name != "Random"
+    if module == "secrets":
+        return True
+    if module == "time":
+        return name in _TIME_FUNCTIONS
+    if module == "uuid":
+        return name in ("uuid1", "uuid4")
+    if module == "datetime" or (isinstance(resolved, type) and module == "datetime"):
+        leaf = attrs[-1] if attrs else name
+        return leaf in _DATETIME_NOW
+    return False
+
+
+def _closure_cells(func: types.FunctionType) -> Dict[str, Any]:
+    cells: Dict[str, Any] = {}
+    freevars = func.__code__.co_freevars
+    closure = func.__closure__ or ()
+    for name, cell in zip(freevars, closure):
+        try:
+            cells[name] = cell.cell_contents
+        except ValueError:  # still-empty cell
+            cells[name] = None
+    return cells
+
+
+def function_facts(func: Any) -> FunctionFacts:
+    """Extract :class:`FunctionFacts` for ``func`` (never raises)."""
+    try:
+        return _function_facts(func)
+    except Exception:
+        return _UNRESOLVED
+
+
+def _function_facts(func: Any) -> FunctionFacts:
+    while isinstance(func, functools.partial):
+        func = func.func
+    if isinstance(func, types.MethodType):
+        func = func.__func__
+    code = getattr(func, "__code__", None)
+    if not isinstance(code, types.CodeType):
+        return _UNRESOLVED
+    raw = _raw_facts(code)
+    if raw is None:
+        return _UNRESOLVED
+    name = getattr(func, "__qualname__", None) or code.co_name
+    freevars = set(code.co_freevars)
+    func_globals = getattr(func, "__globals__", {}) or {}
+    cells = _closure_cells(func) if isinstance(func, types.FunctionType) else {}
+
+    mutated_captured = sorted(
+        {base for base in (raw.mutated_bases | raw.stored_names) if base in freevars}
+    )
+    mutated_globals = sorted(
+        {
+            base
+            for base in (raw.mutated_bases | raw.stored_names)
+            if base not in freevars
+            and base in func_globals
+            and not isinstance(func_globals[base], types.ModuleType)
+            and not callable(func_globals[base])
+        }
+        | {base for base in raw.stored_names if base not in freevars}
+    )
+
+    nondet: List[str] = []
+    for root, attrs in raw.call_chains:
+        resolved = cells.get(root, func_globals.get(root))
+        if resolved is None:
+            builtins_module = func_globals.get("__builtins__")
+            if isinstance(builtins_module, dict):
+                resolved = builtins_module.get(root)
+            else:
+                resolved = getattr(builtins_module, root, None)
+        if resolved is None:
+            continue
+        if _is_nondet(resolved, attrs):
+            display = ".".join((root,) + attrs)
+            if display not in nondet:
+                nondet.append(display)
+
+    return FunctionFacts(
+        name=name,
+        resolved=True,
+        params=raw.params,
+        field_reads={
+            param: frozenset(reads) for param, reads in raw.field_reads.items()
+        },
+        produced_fields=(
+            None
+            if raw.produced_unknown
+            else frozenset(raw.produced or ())  # type: ignore[arg-type]
+        ),
+        passthrough=raw.passthrough,
+        mutated_captured=tuple(mutated_captured),
+        mutated_globals=tuple(mutated_globals),
+        nondet_calls=tuple(nondet),
+    )

@@ -13,6 +13,13 @@ It lowers onto the imperative :class:`~repro.spe.query.Query`/``Operator``
 layer, which remains fully supported for custom operators and tests.
 """
 
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    PlanAnalysisError,
+    PlanAnalysisWarning,
+    analyze_plan,
+)
 from repro.api.dataflow import Dataflow, DataflowError, ParallelStage, StreamBuilder
 from repro.api.pipeline import (
     PROVENANCE_INSTANCE,
@@ -30,6 +37,11 @@ from repro.provstore import (
 )
 
 __all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "PlanAnalysisError",
+    "PlanAnalysisWarning",
+    "analyze_plan",
     "Dataflow",
     "DataflowError",
     "ParallelStage",

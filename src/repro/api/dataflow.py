@@ -41,7 +41,7 @@ byte-identical to the sequential stage's (see :class:`ParallelStage`)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.spe.channels import Channel
@@ -89,6 +89,10 @@ class _Node:
     #: sinks only: opt this sink in (True) / out (False) of provenance
     #: capture; None keeps the default (capture at every sink).
     capture_provenance: Optional[bool] = None
+    #: declarative description of the stage (user functions, windows,
+    #: channels, declared schemas) consumed by :mod:`repro.analysis` -- the
+    #: static analyzer must inspect a plan without instantiating it.
+    meta: Dict[str, object] = field(default_factory=dict)
     _instantiated: bool = False
 
     def instantiate(self) -> Operator:
@@ -170,6 +174,7 @@ class Dataflow:
         unordered: bool = False,
         instance: Optional[Operator] = None,
         single_use_reason: str = "",
+        meta: Optional[Dict[str, object]] = None,
     ) -> "StreamBuilder":
         node_name = name or self._fresh_name(kind)
         if node_name in self._nodes:
@@ -194,6 +199,7 @@ class Dataflow:
             unordered=unordered,
             instance=instance,
             single_use_reason=single_use_reason,
+            meta=dict(meta) if meta else {},
         )
         return StreamBuilder(self, node_name)
 
@@ -222,11 +228,16 @@ class Dataflow:
         supplier,
         batch_size: int = 256,
         enforce_order: bool = True,
+        schema: Optional[Sequence[str]] = None,
     ) -> "StreamBuilder":
         """Start a stream from ``supplier`` (iterable or callable).
 
         Pass ``enforce_order=False`` for suppliers with bounded disorder and
         follow with :meth:`StreamBuilder.sort`.
+
+        ``schema`` optionally declares the value-field names the supplier's
+        tuples carry; the static analyzer propagates it downstream to flag
+        accesses to fields no upstream stage can produce.
         """
         # A bare iterator is exhausted by its first lowering; a second one
         # would silently read nothing, so fail loudly instead.  Lists and
@@ -245,11 +256,21 @@ class Dataflow:
             ),
             unordered=not enforce_order,
             single_use_reason=single_use_reason,
+            meta={
+                "supplier": supplier,
+                "enforce_order": enforce_order,
+                "schema": tuple(schema) if schema is not None else None,
+            },
         )
 
     def receive(self, name: str, channel: Channel) -> "StreamBuilder":
         """Start a stream from an inter-process ``channel`` (explicit wiring)."""
-        return self._add_node("receive", name, lambda: ReceiveOperator(name, channel))
+        return self._add_node(
+            "receive",
+            name,
+            lambda: ReceiveOperator(name, channel),
+            meta={"channel": channel},
+        )
 
     def stage(self, operator, name: Optional[str] = None) -> "StreamBuilder":
         """Register a custom input-less operator (instance or factory)."""
@@ -449,8 +470,11 @@ class StreamBuilder:
         factory: Callable[[], Operator],
         retention_s: float = 0.0,
         stream_name: str = "",
+        meta: Optional[Dict[str, object]] = None,
     ) -> "StreamBuilder":
-        builder = self.dataflow._add_node(kind, name, factory, retention_s=retention_s)
+        builder = self.dataflow._add_node(
+            kind, name, factory, retention_s=retention_s, meta=meta
+        )
         self.dataflow._add_edge(
             self.node, builder.node, stream_name=stream_name, out_port=self.out_port
         )
@@ -487,17 +511,26 @@ class StreamBuilder:
     def map(self, function, name: Optional[str] = None) -> "StreamBuilder":
         """Apply a one-to-one transformation."""
         stage = name or self.dataflow._fresh_name("map")
-        return self._then("map", stage, lambda: MapOperator(stage, function))
+        return self._then(
+            "map", stage, lambda: MapOperator(stage, function),
+            meta={"function": function},
+        )
 
     def flat_map(self, function, name: Optional[str] = None) -> "StreamBuilder":
         """Apply a one-to-many transformation."""
         stage = name or self.dataflow._fresh_name("flatmap")
-        return self._then("flatmap", stage, lambda: FlatMapOperator(stage, function))
+        return self._then(
+            "flatmap", stage, lambda: FlatMapOperator(stage, function),
+            meta={"function": function},
+        )
 
     def filter(self, predicate, name: Optional[str] = None) -> "StreamBuilder":
         """Keep only the tuples satisfying ``predicate``."""
         stage = name or self.dataflow._fresh_name("filter")
-        return self._then("filter", stage, lambda: FilterOperator(stage, predicate))
+        return self._then(
+            "filter", stage, lambda: FilterOperator(stage, predicate),
+            meta={"predicate": predicate},
+        )
 
     def sort(
         self, slack: float, drop_violations: bool = False, name: Optional[str] = None
@@ -505,7 +538,10 @@ class StreamBuilder:
         """Re-order a stream with bounded disorder (place after unordered sources)."""
         stage = name or self.dataflow._fresh_name("sort")
         return self._then(
-            "sort", stage, lambda: SortOperator(stage, slack, drop_violations=drop_violations)
+            "sort",
+            stage,
+            lambda: SortOperator(stage, slack, drop_violations=drop_violations),
+            meta={"slack": slack},
         )
 
     # -- windowed stages ---------------------------------------------------------
@@ -528,6 +564,12 @@ class StreamBuilder:
         """
         key_function = key_function if key_function is not None else self.key
         stage = name or self.dataflow._fresh_name("aggregate")
+        stage_meta = {
+            "window": window,
+            "function": aggregate_function,
+            "key_function": key_function,
+            "contributors_function": contributors_function,
+        }
         if parallelism <= 1:
             return self._then(
                 "aggregate",
@@ -540,6 +582,7 @@ class StreamBuilder:
                     contributors_function=contributors_function,
                 ),
                 retention_s=window.size,
+                meta=stage_meta,
             )
         if key_function is None:
             raise DataflowError(
@@ -566,6 +609,7 @@ class StreamBuilder:
             replica_kind="aggregate",
             replica_factory=replica_factory,
             retention_s=window.size,
+            replica_meta=stage_meta,
         )
 
     def join(
@@ -588,12 +632,18 @@ class StreamBuilder:
         if other.dataflow is not self.dataflow:
             raise DataflowError("cannot join stages of different dataflows")
         stage = name or self.dataflow._fresh_name("join")
+        stage_meta = {
+            "window_size": window_size,
+            "predicate": predicate,
+            "combiner": combiner,
+        }
         if parallelism <= 1:
             builder = self._then(
                 "join",
                 stage,
                 lambda: JoinOperator(stage, window_size, predicate, combiner),
                 retention_s=window_size,
+                meta=stage_meta,
             )
             self.dataflow._add_edge(other.node, builder.node, out_port=other.out_port)
             return builder
@@ -619,6 +669,7 @@ class StreamBuilder:
             replica_kind="join",
             replica_factory=replica_factory,
             retention_s=window_size,
+            replica_meta=stage_meta,
         )
 
     def _expand_parallel(
@@ -629,6 +680,7 @@ class StreamBuilder:
         replica_kind: str,
         replica_factory,
         retention_s: float,
+        replica_meta: Optional[Dict[str, object]] = None,
     ) -> "StreamBuilder":
         """Expand a logical stage into partition(s) -> replicas -> merge.
 
@@ -653,12 +705,15 @@ class StreamBuilder:
                 "partition",
                 partition_name,
                 _partition_factory(partition_name, key_function, stamp),
+                meta={"key_function": key_function, "stamp_sequence": stamp},
             )
             partitions.append(partition_name)
         replicas = []
         for index in range(parallelism):
             shard = f"{stage}_shard{index}"
-            dataflow._add_node(replica_kind, shard, replica_factory(shard))
+            dataflow._add_node(
+                replica_kind, shard, replica_factory(shard), meta=replica_meta
+            )
             for partition_name in partitions:
                 dataflow._add_edge(partition_name, shard, out_port=index)
             replicas.append(shard)
@@ -703,7 +758,10 @@ class StreamBuilder:
         stage = name or self.dataflow._fresh_name("router")
         predicates = list(predicates)
         builder = self._then(
-            "router", stage, lambda: RouterOperator(stage, predicates)
+            "router",
+            stage,
+            lambda: RouterOperator(stage, predicates),
+            meta={"predicates": tuple(predicates)},
         )
         return tuple(
             StreamBuilder(self.dataflow, builder.node, out_port=port)
@@ -748,6 +806,7 @@ class StreamBuilder:
             "sink",
             stage,
             lambda: SinkOperator(stage, callback=callback, keep_tuples=keep_tuples),
+            meta={"callback": callback},
         )
         self.dataflow._nodes[stage].capture_provenance = capture_provenance
         return builder
@@ -755,7 +814,12 @@ class StreamBuilder:
     def send(self, channel: Channel, name: Optional[str] = None) -> "StreamBuilder":
         """Terminate the stream in a Send writing to ``channel`` (explicit wiring)."""
         stage = name or self.dataflow._fresh_name("send")
-        return self._then("send", stage, lambda: SendOperator(stage, channel))
+        return self._then(
+            "send",
+            stage,
+            lambda: SendOperator(stage, channel),
+            meta={"channel": channel},
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         port = f", port={self.out_port}" if self.out_port is not None else ""

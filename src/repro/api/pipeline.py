@@ -23,9 +23,11 @@ the sinks, the collected provenance records and the transfer statistics.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.analysis import AnalysisReport, PlanAnalysisWarning, analyze_plan
 from repro.api.dataflow import Dataflow, DataflowError
 from repro.core.baseline import BaselineProvenanceResolver
 from repro.core.multi_unfolder import attach_mu
@@ -338,7 +340,13 @@ class Pipeline:
         hosts=None,
         codec: str = "binary",
         telemetry=None,
+        validate: str = "warn",
     ) -> None:
+        if validate not in ("strict", "warn", "off"):
+            raise DataflowError(
+                f"unknown validate mode {validate!r}; expected 'strict', "
+                "'warn' or 'off'"
+            )
         if execution not in ("event", "polling", "process", "cluster"):
             raise DataflowError(
                 f"unknown execution mode {execution!r}; expected 'event', "
@@ -368,6 +376,7 @@ class Pipeline:
             self.telemetry = coerce_telemetry(telemetry)
         except ValueError as exc:
             raise DataflowError(str(exc)) from None
+        self.validate = validate
         self.store = self._resolve_store(provenance_store)
         self._result: Optional[PipelineResult] = None
 
@@ -404,6 +413,41 @@ class Pipeline:
                 else self.dataflow.retention_s()
             )
         return store
+
+    # -- static analysis ---------------------------------------------------------
+    def analyze(self) -> AnalysisReport:
+        """Statically analyze the plan under this pipeline's deployment.
+
+        Runs the :mod:`repro.analysis` rules over the deferred dataflow
+        description -- graph/ordering/provenance verification, schema
+        inference from ``source(schema=...)`` declarations, and the
+        concurrency lint over user functions -- without lowering or
+        executing anything.  :meth:`run` calls this automatically unless
+        the pipeline was built with ``validate="off"``.
+        """
+        return analyze_plan(
+            self.dataflow,
+            placement=self.placement,
+            mode=self.mode,
+            execution=self.execution,
+            codec=self.codec,
+            retention=self.retention,
+            store=self.store,
+        )
+
+    def _gate(self) -> None:
+        """Apply the ``validate=`` policy before a run."""
+        if self.validate == "off":
+            return
+        report = self.analyze()
+        if self.validate == "strict":
+            report.raise_for_errors()
+        for diagnostic in report.diagnostics:
+            warnings.warn(
+                f"plan {self.dataflow.name!r}: {diagnostic}",
+                PlanAnalysisWarning,
+                stacklevel=3,
+            )
 
     # -- building ----------------------------------------------------------------
     def build(self) -> PipelineResult:
@@ -491,6 +535,7 @@ class Pipeline:
         ``round_callback`` is invoked every ``callback_every`` scheduler
         passes / runtime rounds (e.g. for memory sampling).
         """
+        self._gate()
         result = self.build()
         telemetry = self.telemetry
         if telemetry is not None:

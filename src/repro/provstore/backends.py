@@ -203,7 +203,7 @@ class JsonlLedgerBackend(LedgerBackend):
                         )
                     try:
                         document = loads_document(line)
-                    except SerializationError:
+                    except SerializationError as exc:
                         if newest_segment:
                             torn = {"segment": segment.name, "line": number + 1}
                             continue
@@ -211,7 +211,7 @@ class JsonlLedgerBackend(LedgerBackend):
                             f"provenance store at {str(self.path)!r} has an "
                             f"unparsable record at {segment.name}:{number + 1} "
                             "(not a torn tail; the store is corrupt)"
-                        )
+                        ) from exc
                     yield document
             if torn is not None:
                 self.torn_tail = torn

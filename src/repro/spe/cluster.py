@@ -137,11 +137,21 @@ def _recv_control(sock: socket.socket, decoder: FrameDecoder) -> Optional[Tuple[
 
 
 def parse_address(text: str) -> Address:
-    """Parse a ``host:port`` string (the CLI / ``hosts=`` syntax)."""
+    """Parse a ``host:port`` string (the CLI / ``hosts=`` syntax).
+
+    Raises :class:`ValueError` (naming the offending text) on anything a
+    socket could not bind or connect to later: missing/empty host or port,
+    a non-numeric port, or a port outside 0-65535.
+    """
     host, sep, port = text.rpartition(":")
     if not sep or not host or not port.isdigit():
         raise ValueError(f"expected 'host:port', got {text!r}")
-    return host, int(port)
+    port_number = int(port)
+    if port_number > 65535:
+        raise ValueError(
+            f"port {port_number} of {text!r} is out of range (expected 0-65535)"
+        )
+    return host, port_number
 
 
 # -- the worker --------------------------------------------------------------
@@ -557,6 +567,7 @@ class ClusterRuntime(_RuntimeBase):
         self.results: Dict[str, Dict] = {}
         self._own_workers: List[ClusterWorker] = []
         self._hosts = hosts
+        self._validate_hosts()
         require_unique_channel_names(self.channels(), "cluster")
         for channel in self.channels():
             if not isinstance(channel.transport, SocketTransport):
@@ -571,8 +582,40 @@ class ClusterRuntime(_RuntimeBase):
     def _as_address(value) -> Address:
         if isinstance(value, str):
             return parse_address(value)
-        host, port = value
-        return str(host), int(port)
+        try:
+            host, port = value
+            address = str(host), int(port)
+        except (TypeError, ValueError):
+            raise ValueError(f"expected 'host:port' or (host, port), got {value!r}") from None
+        if not address[0] or not 0 <= address[1] <= 65535:
+            raise ValueError(
+                f"invalid worker address {value!r} (expected a non-empty host "
+                "and a port in 0-65535)"
+            )
+        return address
+
+    def _validate_hosts(self) -> None:
+        """Reject malformed ``hosts=`` entries up front, naming the offender.
+
+        Without this the first bad entry would surface mid-run as a raw
+        ``ValueError`` from address parsing (or an ``OSError`` from the
+        socket layer), after workers have already been spawned.
+        """
+        if self._hosts is None:
+            return
+        entries = (
+            self._hosts.items()
+            if isinstance(self._hosts, dict)
+            else enumerate(self._hosts)
+        )
+        for key, value in entries:
+            try:
+                self._as_address(value)
+            except ValueError as exc:
+                where = (
+                    f"hosts[{key!r}]" if isinstance(self._hosts, dict) else f"hosts[{key}]"
+                )
+                raise SchedulingError(f"invalid worker address at {where}: {exc}") from None
 
     def _assign_addresses(self) -> Dict[str, Address]:
         """Instance name -> worker daemon address (spawning local ones if needed)."""
@@ -901,7 +944,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         host, port = parse_address(options.serve)
     except ValueError as exc:
-        parser.error(str(exc))
+        parser.error(f"argument --serve: {exc}")
     # The daemon logs to stdout so supervisors (and the coordinator spawning
     # it) read one stream; the serving banner below is the line they parse
     # for the bound (possibly ephemeral) port.

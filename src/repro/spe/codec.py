@@ -64,7 +64,7 @@ never a silent mis-decode.
 from __future__ import annotations
 
 import struct
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.spe.errors import SerializationError
 from repro.spe.serialization import deserialize_tuple
@@ -161,7 +161,7 @@ def read_svarint(buf: bytes, pos: int) -> Tuple[int, int]:
     return (raw >> 1 if not raw & 1 else -(raw >> 1) - 1), pos
 
 
-def _id_parts(value: str):
+def _id_parts(value: str) -> Optional[Tuple[str, int]]:
     """Split an id-shaped string ``"<prefix>:<counter>"``; None otherwise.
 
     The counter must round-trip through ``int`` exactly: ASCII digits only
@@ -271,7 +271,7 @@ class BinaryChannelEncoder:
                 self._encode_column(out, column)
 
     # -- columns -----------------------------------------------------------
-    def _encode_column(self, out: bytearray, column) -> None:
+    def _encode_column(self, out: bytearray, column: Sequence[Any]) -> None:
         kinds = set(map(type, column))
         if kinds == {float}:
             out.append(_COL_FLOAT)
@@ -294,7 +294,7 @@ class BinaryChannelEncoder:
         else:
             self._encode_generic_column(out, column)
 
-    def _encode_str_column(self, out: bytearray, column) -> None:
+    def _encode_str_column(self, out: bytearray, column: Sequence[str]) -> None:
         # id parse inlined from :func:`_id_parts` and memoised per string:
         # this loop runs once per string cell on the wire and both the call
         # overhead and the re-parse of repeated ids are measurable.
@@ -346,7 +346,7 @@ class BinaryChannelEncoder:
                 else:
                     self._write_interned(out, value)
 
-    def _encode_generic_column(self, out: bytearray, column) -> None:
+    def _encode_generic_column(self, out: bytearray, column: Sequence[Any]) -> None:
         out.append(_COL_GENERIC)
         for value in column:
             self._encode_generic(out, value)
@@ -370,7 +370,7 @@ class BinaryChannelEncoder:
         write_uvarint(out, len(raw))
         out += raw
 
-    def _encode_generic(self, out: bytearray, value) -> None:
+    def _encode_generic(self, out: bytearray, value: Any) -> None:
         kind = type(value)
         if value is None:
             out.append(_G_NONE)
@@ -435,7 +435,7 @@ class BinaryChannelDecoder:
         self._schemas: List[Tuple[str, ...]] = []
 
     # -- batch entry point -------------------------------------------------
-    def decode_batch(self, payload) -> Tuple[List[StreamTuple], List[Dict[str, Any]]]:
+    def decode_batch(self, payload: str | bytes) -> Tuple[List[StreamTuple], List[Dict[str, Any]]]:
         """Decode one channel payload into ``(tuples, provenance_payloads)``."""
         if isinstance(payload, str):
             tup, prov = deserialize_tuple(payload, channel=self.channel)
@@ -502,7 +502,9 @@ class BinaryChannelDecoder:
         return tuples, prov_docs
 
     # -- documents ---------------------------------------------------------
-    def _decode_documents(self, buf: bytes, pos: int, expected: int):
+    def _decode_documents(
+        self, buf: bytes, pos: int, expected: int
+    ) -> Tuple[List[Dict[str, Any]], int]:
         # The single-byte case dominates every varint here (group counts,
         # schema refs); the inline fast path skips the function call.
         byte = buf[pos]
@@ -563,7 +565,7 @@ class BinaryChannelDecoder:
         return docs, pos
 
     # -- columns -----------------------------------------------------------
-    def _decode_column(self, buf: bytes, pos: int, count: int):
+    def _decode_column(self, buf: bytes, pos: int, count: int) -> Tuple[Sequence[Any], int]:
         tag = buf[pos]
         pos += 1
         if tag == _COL_FLOAT:
@@ -653,7 +655,7 @@ class BinaryChannelDecoder:
             self._strings.append(value)
         return value, end
 
-    def _decode_generic(self, buf: bytes, pos: int):
+    def _decode_generic(self, buf: bytes, pos: int) -> Tuple[Any, int]:
         tag = buf[pos]
         pos += 1
         if tag == _G_NONE:

@@ -34,7 +34,9 @@ class WindowSpec:
 
     __slots__ = ("size", "advance", "emit_at")
 
-    def __init__(self, size: float, advance: Optional[float] = None, emit_at: str = "start") -> None:
+    def __init__(
+        self, size: float, advance: Optional[float] = None, emit_at: str = "start"
+    ) -> None:
         if size <= 0:
             raise QueryValidationError("window size must be positive")
         advance = size if advance is None else advance

@@ -102,7 +102,9 @@ class Query:
         """Add a Multiplex operator (one output port per later ``connect``)."""
         return self.add(MultiplexOperator(name))
 
-    def add_router(self, name: str, predicates: Sequence[Optional[Callable[[StreamTuple], bool]]]) -> RouterOperator:
+    def add_router(
+        self, name: str, predicates: Sequence[Optional[Callable[[StreamTuple], bool]]]
+    ) -> RouterOperator:
         """Add a Router (fused Multiplex + Filters) operator."""
         return self.add(RouterOperator(name, predicates))
 

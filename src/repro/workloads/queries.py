@@ -61,6 +61,12 @@ QUERY_NAMES = ("q1", "q2", "q3", "q4")
 #: anomaly threshold of Q4 (consumption difference units).
 ANOMALY_THRESHOLD = 200.0
 
+#: field set of the Linear Road position reports (:mod:`repro.workloads.linear_road`).
+LINEAR_ROAD_SCHEMA = ("car_id", "speed", "pos")
+
+#: field set of the Smart Grid measurements (:mod:`repro.workloads.smart_grid`).
+SMART_GRID_SCHEMA = ("meter_id", "cons")
+
 
 # ---------------------------------------------------------------------------
 # aggregate / join functions shared by the intra- and inter-process builders
@@ -156,7 +162,7 @@ def q1_dataflow(supplier, parallelism: int = 1) -> Dataflow:
     order-restoring Merge); results are identical to the sequential plan.
     """
     df = Dataflow("q1")
-    (df.source("source", supplier)
+    (df.source("source", supplier, schema=LINEAR_ROAD_SCHEMA)
        .filter(lambda t: t.values["speed"] == 0, name="stopped_filter")
        .aggregate(
            WindowSpec(size=120.0, advance=30.0),
@@ -177,7 +183,7 @@ def q2_dataflow(supplier, parallelism: int = 1) -> Dataflow:
     ``car_id`` and the accident counter on ``last_pos``.
     """
     df = Dataflow("q2")
-    (df.source("source", supplier)
+    (df.source("source", supplier, schema=LINEAR_ROAD_SCHEMA)
        .filter(lambda t: t.values["speed"] == 0, name="stopped_filter")
        .aggregate(
            WindowSpec(size=120.0, advance=30.0),
@@ -207,7 +213,7 @@ def q3_dataflow(supplier, parallelism: int = 1) -> Dataflow:
     stream into one group and therefore stays sequential.
     """
     df = Dataflow("q3")
-    (df.source("source", supplier)
+    (df.source("source", supplier, schema=SMART_GRID_SCHEMA)
        .aggregate(
            WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY),
            daily_consumption_aggregate,
@@ -235,7 +241,7 @@ def q4_dataflow(supplier, parallelism: int = 1) -> Dataflow:
     """
     meter_key = lambda t: t["meter_id"]  # noqa: E731 - the queries use lambdas throughout
     df = Dataflow("q4")
-    split = df.source("source", supplier).split(name="multiplex")
+    split = df.source("source", supplier, schema=SMART_GRID_SCHEMA).split(name="multiplex")
     daily = split.aggregate(
         WindowSpec(size=SECONDS_PER_DAY, advance=SECONDS_PER_DAY, emit_at="end"),
         daily_consumption_aggregate,

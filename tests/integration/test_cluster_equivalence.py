@@ -48,7 +48,7 @@ from tests.integration.test_multiprocess_equivalence import (  # noqa: F401
     ALL_QUERIES,
     PARALLELISMS,
     data_channel_counts,
-    deterministic_wall,  # autouse fixture: deterministic source wall clocks
+    deterministic_wall,  # noqa: F401 - autouse fixture: deterministic source wall clocks
     provenance_bytes,
     run_cell,
     sink_bytes,

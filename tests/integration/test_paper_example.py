@@ -8,7 +8,6 @@ six position reports of Figure 1, the query produces the sink tuple
 (Figure 2).
 """
 
-import pytest
 
 from repro.core.provenance import ProvenanceMode
 from repro.workloads.queries import build_query

@@ -50,11 +50,15 @@ def run_intra(query_name, mode):
 class TestDeploymentStructure:
     @pytest.mark.parametrize("query_name", ALL_QUERIES)
     def test_np_uses_two_instances(self, query_name):
-        bundle = build_distributed_query(query_name, workload_for(query_name), mode=ProvenanceMode.NONE)
+        bundle = build_distributed_query(
+            query_name, workload_for(query_name), mode=ProvenanceMode.NONE
+        )
         assert len(bundle.instances) == 2
 
     @pytest.mark.parametrize("query_name", ALL_QUERIES)
-    @pytest.mark.parametrize("mode", [ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE], ids=["GL", "BL"])
+    @pytest.mark.parametrize(
+        "mode", [ProvenanceMode.GENEALOG, ProvenanceMode.BASELINE], ids=["GL", "BL"]
+    )
     def test_provenance_adds_a_third_instance(self, query_name, mode):
         bundle = build_distributed_query(query_name, workload_for(query_name), mode=mode)
         assert len(bundle.instances) == 3

@@ -112,7 +112,8 @@ def provenance_bytes(records):
             )
             for source in record.sources
         )
-        content.append((record.sink_ts, json.dumps(sorted(record.sink_values.items()), default=str), sources, record))
+        sink_values = json.dumps(sorted(record.sink_values.items()), default=str)
+        content.append((record.sink_ts, sink_values, sources, record))
     content.sort(key=lambda entry: entry[:3])
     canonical = {}
 

@@ -16,7 +16,10 @@ from repro.spe.tuples import StreamTuple
 def build_random_derivation(draw, manager, depth):
     """Recursively build a derived tuple; return (tuple, set of leaf ids)."""
     node_kind = draw(
-        st.sampled_from(["source"] if depth == 0 else ["source", "map", "multiplex", "join", "aggregate"])
+        st.sampled_from(
+            ["source"] if depth == 0
+            else ["source", "map", "multiplex", "join", "aggregate"]
+        )
     )
     if node_kind == "source":
         leaf = StreamTuple(ts=draw(st.integers(0, 1000)), values={"v": draw(st.integers())})

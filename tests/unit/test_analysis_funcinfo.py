@@ -1,0 +1,167 @@
+"""Tests of the AST-based user-code fact extractor behind the analyzer."""
+
+import functools
+import random
+import time
+
+from repro.analysis import function_facts
+from repro.spe.tuples import StreamTuple
+
+_GLOBAL_STATE = {"hits": 0}
+_GLOBAL_LOG = []
+
+
+def _reads_two_fields(t):
+    return t["speed"] + t.values["pos"]
+
+
+def _window_reads(window, key):
+    return {"key": key, "count": len({t["pos"] for t in window})}
+
+
+def _produces_fields(t):
+    return {"a": t["x"], "b": 2}
+
+
+def _passthrough(t):
+    return t
+
+
+def _derives(t):
+    return t.derive(values={"scaled": t["x"] * 2})
+
+
+def _mutates_global(t):
+    _GLOBAL_STATE["hits"] += 1
+    return t
+
+
+def _appends_global(t):
+    _GLOBAL_LOG.append(t)
+    return t
+
+
+def _calls_clock(t):
+    return {"now": time.time()}
+
+
+def _calls_random(t):
+    return {"r": random.random()}
+
+
+def _calls_helper(t):
+    return _produces_fields(t)
+
+
+def make_closure_mutator():
+    seen = []
+
+    def predicate(t):
+        seen.append(t["x"])
+        return True
+
+    return predicate
+
+
+class TestFieldReads:
+    def test_subscript_and_values_access(self):
+        facts = function_facts(_reads_two_fields)
+        assert facts.resolved
+        assert facts.reads_of(0) == frozenset({"speed", "pos"})
+
+    def test_window_element_reads_attribute_to_the_window_param(self):
+        facts = function_facts(_window_reads)
+        assert facts.reads_of(0) == frozenset({"pos"})
+
+    def test_lambda_reads(self):
+        facts = function_facts(lambda t: t["car_id"])
+        assert facts.resolved
+        assert facts.reads_of(0) == frozenset({"car_id"})
+
+    def test_join_style_params_keep_sides_apart(self):
+        facts = function_facts(lambda left, right: left["a"] == right["b"])
+        assert facts.reads_of(0) == frozenset({"a"})
+        assert facts.reads_of(1) == frozenset({"b"})
+
+
+class TestProducedFields:
+    def test_dict_literal(self):
+        facts = function_facts(_produces_fields)
+        assert facts.produced_fields == frozenset({"a", "b"})
+        assert not facts.passthrough
+
+    def test_passthrough(self):
+        facts = function_facts(_passthrough)
+        assert facts.passthrough
+        assert facts.produced_fields == frozenset()
+
+    def test_derive_values(self):
+        facts = function_facts(_derives)
+        assert facts.produced_fields == frozenset({"scaled"})
+
+    def test_opaque_return_gives_no_schema(self):
+        facts = function_facts(_calls_helper)
+        assert facts.produced_fields is None
+
+
+class TestStateMutation:
+    def test_global_dict_mutation(self):
+        facts = function_facts(_mutates_global)
+        assert facts.mutates_state
+        assert "_GLOBAL_STATE" in facts.mutated_globals
+
+    def test_global_list_append(self):
+        facts = function_facts(_appends_global)
+        assert facts.mutates_state
+        assert "_GLOBAL_LOG" in facts.mutated_globals
+
+    def test_closure_cell_mutation(self):
+        facts = function_facts(make_closure_mutator())
+        assert facts.mutates_state
+        assert "seen" in facts.mutated_captured
+
+    def test_pure_function_is_clean(self):
+        facts = function_facts(_produces_fields)
+        assert not facts.mutates_state
+
+
+class TestNondeterminism:
+    def test_clock_read(self):
+        facts = function_facts(_calls_clock)
+        assert any("time" in call for call in facts.nondet_calls)
+
+    def test_entropy_read(self):
+        facts = function_facts(_calls_random)
+        assert any("random" in call for call in facts.nondet_calls)
+
+    def test_deterministic_function_is_clean(self):
+        assert not function_facts(_produces_fields).nondet_calls
+
+
+class TestResolution:
+    def test_builtin_is_unresolved(self):
+        facts = function_facts(len)
+        assert not facts.resolved
+
+    def test_partial_unwraps(self):
+        def keyed(t, field):
+            return t[field]
+
+        facts = function_facts(functools.partial(keyed, field="x"))
+        assert facts.resolved
+
+    def test_never_raises_on_junk(self):
+        facts = function_facts(object())
+        assert not facts.resolved
+
+    def test_facts_are_cached_per_code_object(self):
+        first = function_facts(_produces_fields)
+        second = function_facts(_produces_fields)
+        assert first.field_reads == second.field_reads
+
+    def test_streamtuple_values_constructor(self):
+        def build(t):
+            return StreamTuple(ts=t.ts, values={"y": 1})
+
+        facts = function_facts(build)
+        assert facts.produced_fields == frozenset({"y"})

@@ -1,0 +1,470 @@
+"""Per-rule tests of the static plan analyzer.
+
+Every rule gets a minimal plan that trips it (asserted by rule id) and,
+where the misbehavior is runnable without hanging, a companion run showing
+the failure the diagnostic predicts.  The fixture functions live at module
+level so ``inspect.getsource`` finds them (the concurrency/schema rules
+read the AST of the user code).
+"""
+
+import random
+import warnings
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import PlanAnalysisError, PlanAnalysisWarning, analyze_plan
+from repro.api import Dataflow, DataflowError, Pipeline, Placement
+from repro.core.provenance import ProvenanceMode
+from repro.spe.channels import Channel
+from repro.spe.errors import QueryValidationError, SchedulingError, StreamOrderError
+from repro.spe.operators.aggregate import WindowSpec
+from repro.spe.operators.map import MapOperator
+from repro.spe.tuples import StreamTuple
+
+
+# -- fixture user code (module level: the analyzer reads its source) ---------
+
+def _identity(t):
+    return t
+
+
+def _always(t):
+    return True
+
+
+def _count_aggregate(window, key):
+    return {"key": key, "count": len(window)}
+
+
+def _keyed(t):
+    return t["key"]
+
+
+def _reads_velocity(t):
+    return t["velocity"] == 0
+
+
+_RACY_COUNTER = {"n": 0}
+
+
+def _racy_aggregate(window, key):
+    _RACY_COUNTER["n"] += 1
+    return {"key": key, "count": len(window), "n": _RACY_COUNTER["n"]}
+
+
+def _noisy_aggregate(window, key):
+    return {"key": key, "count": len(window), "jitter": random.random()}
+
+
+def _rows(n=8, keys=4):
+    return [
+        StreamTuple(ts=float(i), values={"key": f"k{i % keys}", "x": i})
+        for i in range(n)
+    ]
+
+
+def _disordered_rows():
+    return [
+        StreamTuple(ts=2.0, values={"key": "a", "x": 0}),
+        StreamTuple(ts=1.0, values={"key": "b", "x": 1}),
+        StreamTuple(ts=3.0, values={"key": "a", "x": 2}),
+    ]
+
+
+def rule_ids(report):
+    return set(report.rule_ids())
+
+
+# -- graph rules -------------------------------------------------------------
+
+class TestGraphRules:
+    def test_cycle_flagged(self):
+        df = Dataflow("cyclic")
+        a = df.source("src", []).map(_identity, name="a")
+        b = a.map(_identity, name="b")
+        b.to(a)
+        report = analyze_plan(df)
+        assert "graph.cycle" in rule_ids(report)
+        (diag,) = report.by_rule("graph.cycle")
+        assert {"a", "b"} <= set(diag.operators)
+
+    def test_cycle_breaks_the_build_too(self):
+        df = Dataflow("cyclic")
+        a = df.source("src", []).map(_identity, name="a")
+        a.map(_identity, name="b").to(a)
+        with pytest.raises(QueryValidationError):
+            df.build()
+
+    def test_unreachable_flagged(self):
+        df = Dataflow("unreachable")
+        df.source("src", []).sink("out")
+        df._add_node(
+            "map", "orphan", lambda: MapOperator("orphan", _identity),
+            meta={"function": _identity},
+        )
+        report = analyze_plan(df)
+        assert "graph.unreachable" in rule_ids(report)
+        assert any("orphan" in d.operators for d in report.by_rule("graph.unreachable"))
+
+    def test_unreachable_breaks_the_build_too(self):
+        df = Dataflow("unreachable")
+        df.source("src", []).sink("out")
+        df._add_node(
+            "map", "orphan", lambda: MapOperator("orphan", _identity),
+            meta={"function": _identity},
+        )
+        with pytest.raises(QueryValidationError, match="no input stream"):
+            df.build()
+
+    def test_dead_end_flagged(self):
+        df = Dataflow("deadend")
+        df.source("src", []).map(_identity, name="m")
+        report = analyze_plan(df)
+        assert "graph.dead-end" in rule_ids(report)
+        (diag,) = report.by_rule("graph.dead-end")
+        assert diag.operators == ("m",)
+
+    def test_dead_end_breaks_the_build_too(self):
+        df = Dataflow("deadend")
+        df.source("src", []).map(_identity, name="m")
+        with pytest.raises(QueryValidationError, match="no output stream"):
+            df.build()
+
+    def test_arity_flagged_on_implicit_fan_out(self):
+        df = Dataflow("arity")
+        stream = df.source("src", []).filter(_always, name="f")
+        stream.map(_identity, name="m1").sink("s1")
+        stream.map(_identity, name="m2").sink("s2")
+        report = analyze_plan(df)
+        assert "graph.arity" in rule_ids(report)
+        assert any("f" in d.operators for d in report.by_rule("graph.arity"))
+
+    def test_merge_deadlock_flagged(self):
+        df = Dataflow("deadlock")
+        main = df.source("src", _rows())
+        side = df.receive("r", Channel("unfed"))
+        main.union(side, name="u").sink("out")
+        report = analyze_plan(df)
+        assert "graph.merge-deadlock" in rule_ids(report)
+        (diag,) = report.by_rule("graph.merge-deadlock")
+        assert "u" in diag.operators and "r" in diag.operators
+
+    def test_merge_deadlock_clean_when_plan_feeds_the_channel(self):
+        channel = Channel("loop")
+        df = Dataflow("fed")
+        df.source("side", _rows()).send(channel, name="snd")
+        main = df.source("src", _rows())
+        side = df.receive("r", channel)
+        main.union(side, name="u").sink("out")
+        report = analyze_plan(df)
+        assert "graph.merge-deadlock" not in rule_ids(report)
+
+
+# -- ordering rules ----------------------------------------------------------
+
+class TestOrderingRules:
+    def test_unordered_input_flagged(self):
+        df = Dataflow("unordered")
+        (df.source("src", _disordered_rows, enforce_order=False)
+           .aggregate(WindowSpec(size=10.0, advance=10.0), _count_aggregate,
+                      key_function=_keyed, name="agg")
+           .sink("out"))
+        report = analyze_plan(df)
+        assert "ordering.unordered-input" in rule_ids(report)
+        (diag,) = report.by_rule("ordering.unordered-input")
+        assert diag.operators == ("agg", "src")
+
+    def test_sort_clears_unordered_input(self):
+        df = Dataflow("sorted")
+        (df.source("src", _disordered_rows, enforce_order=False)
+           .sort(slack=5.0, name="fix")
+           .aggregate(WindowSpec(size=10.0, advance=10.0), _count_aggregate,
+                      key_function=_keyed, name="agg")
+           .sink("out"))
+        assert not analyze_plan(df).diagnostics
+
+    def test_order_violation_risk_flagged(self):
+        df = Dataflow("risk")
+        df.source("src", _disordered_rows, enforce_order=False).map(
+            _identity, name="m"
+        ).sink("out")
+        report = analyze_plan(df)
+        assert "ordering.order-violation-risk" in rule_ids(report)
+
+    def test_order_violation_risk_is_real_at_runtime(self):
+        df = Dataflow("risk")
+        df.source("src", _disordered_rows, enforce_order=False).map(
+            _identity, name="m"
+        ).sink("out")
+        with pytest.raises(StreamOrderError):
+            Pipeline(df, validate="off").run()
+
+
+# -- provenance rules --------------------------------------------------------
+
+class TestProvenanceRules:
+    def test_unordered_capture_flagged(self):
+        df = Dataflow("capture")
+        df.source("src", _disordered_rows, enforce_order=False).sink("out")
+        report = analyze_plan(df, mode=ProvenanceMode.GENEALOG)
+        assert "provenance.unordered-capture" in rule_ids(report)
+
+    def test_unordered_capture_silent_without_provenance(self):
+        df = Dataflow("capture")
+        df.source("src", _disordered_rows, enforce_order=False).sink("out")
+        report = analyze_plan(df)
+        assert "provenance.unordered-capture" not in rule_ids(report)
+
+    def test_store_retention_below_window_sum_flagged(self):
+        df = Dataflow("retention")
+        (df.source("src", _rows())
+           .aggregate(WindowSpec(size=120.0, advance=30.0), _count_aggregate,
+                      key_function=_keyed, name="agg")
+           .sink("out"))
+        report = analyze_plan(
+            df,
+            mode=ProvenanceMode.GENEALOG,
+            store=SimpleNamespace(retention=10.0),
+        )
+        assert "provenance.retention-below-window-sum" in rule_ids(report)
+
+    def test_sufficient_store_retention_is_clean(self):
+        df = Dataflow("retention")
+        (df.source("src", _rows())
+           .aggregate(WindowSpec(size=120.0, advance=30.0), _count_aggregate,
+                      key_function=_keyed, name="agg")
+           .sink("out"))
+        report = analyze_plan(
+            df,
+            mode=ProvenanceMode.GENEALOG,
+            store=SimpleNamespace(retention=240.0),
+        )
+        assert "provenance.retention-below-window-sum" not in rule_ids(report)
+
+
+# -- boundary rules ----------------------------------------------------------
+
+class TestBoundaryRules:
+    def test_unmanaged_channel_error_under_cluster(self):
+        df = Dataflow("chan")
+        df.source("src", _rows()).send(Channel("c"), name="snd")
+        report = analyze_plan(df, execution="cluster")
+        (diag,) = report.by_rule("boundary.unmanaged-channel")
+        assert diag.severity == "error"
+        assert "snd" in diag.operators
+
+    def test_unmanaged_channel_warning_under_provenance(self):
+        df = Dataflow("chan")
+        df.source("src", _rows()).send(Channel("c"), name="snd")
+        report = analyze_plan(df, mode=ProvenanceMode.GENEALOG)
+        (diag,) = report.by_rule("boundary.unmanaged-channel")
+        assert diag.severity == "warning"
+
+    def test_placement_invalid_flagged(self):
+        df = Dataflow("placed")
+        df.source("src", _rows()).map(_identity, name="m").sink("out")
+        placement = Placement({"spe1": ("src",)})
+        report = analyze_plan(df, placement=placement)
+        assert "placement.invalid" in rule_ids(report)
+
+    def test_instance_cycle_flagged(self):
+        df = Dataflow("icycle")
+        (df.source("src", _rows())
+           .map(_identity, name="m1")
+           .map(_identity, name="m2")
+           .sink("out"))
+        placement = Placement({"spe1": ("src", "m2", "out"), "spe2": ("m1",)})
+        report = analyze_plan(df, placement=placement)
+        assert "boundary.instance-cycle" in rule_ids(report)
+        (diag,) = report.by_rule("boundary.instance-cycle")
+        assert {"src", "m1", "m2"} <= set(diag.operators)
+
+    def test_instance_cycle_is_real_at_runtime(self):
+        df = Dataflow("icycle")
+        (df.source("src", _rows())
+           .map(_identity, name="m1")
+           .map(_identity, name="m2")
+           .sink("out"))
+        placement = Placement({"spe1": ("src", "m2", "out"), "spe2": ("m1",)})
+        with pytest.raises(SchedulingError):
+            Pipeline(df, placement=placement, validate="off").run()
+
+
+# -- schema rules ------------------------------------------------------------
+
+class TestSchemaRules:
+    def _bad_plan(self):
+        df = Dataflow("schema")
+        (df.source("src", _rows(), schema=("key", "x"))
+           .filter(_reads_velocity, name="f")
+           .sink("out"))
+        return df
+
+    def test_unknown_field_flagged(self):
+        report = analyze_plan(self._bad_plan())
+        (diag,) = report.by_rule("schema.unknown-field")
+        assert "velocity" in diag.message
+        assert diag.operators == ("f", "src")
+
+    def test_unknown_field_is_real_at_runtime(self):
+        with pytest.raises(KeyError):
+            Pipeline(self._bad_plan(), validate="off").run()
+
+    def test_schema_propagates_through_aggregate(self):
+        df = Dataflow("schema")
+        (df.source("src", _rows(), schema=("key", "x"))
+           .aggregate(WindowSpec(size=10.0, advance=10.0), _count_aggregate,
+                      key_function=_keyed, name="agg")
+           .filter(_reads_velocity, name="f")
+           .sink("out"))
+        report = analyze_plan(df)
+        (diag,) = report.by_rule("schema.unknown-field")
+        assert diag.operators == ("f", "agg")
+
+    def test_matching_fields_are_clean(self):
+        df = Dataflow("schema")
+        (df.source("src", _rows(), schema=("key", "x"))
+           .filter(_always, name="f")
+           .sink("out"))
+        assert not analyze_plan(df).diagnostics
+
+
+# -- concurrency rules -------------------------------------------------------
+
+def _parallel_plan(aggregate_function, parallelism=2):
+    df = Dataflow("parallel")
+    (df.source("src", lambda: _rows(n=32, keys=8))
+       .aggregate(WindowSpec(size=4.0, advance=4.0), aggregate_function,
+                  key_function=_keyed, name="agg", parallelism=parallelism)
+       .sink("out"))
+    return df
+
+
+class TestConcurrencyRules:
+    def test_captured_state_mutation_flagged(self):
+        report = analyze_plan(_parallel_plan(_racy_aggregate))
+        (diag,) = report.by_rule("concurrency.captured-state-mutation")
+        assert "agg" in diag.operators
+        assert "_RACY_COUNTER" in diag.message
+
+    def test_captured_state_mutation_silent_when_sequential(self):
+        report = analyze_plan(_parallel_plan(_racy_aggregate, parallelism=1))
+        assert "concurrency.captured-state-mutation" not in rule_ids(report)
+
+    def test_racy_closure_diverges_from_sequential_plan(self):
+        _RACY_COUNTER["n"] = 0
+        sequential = Pipeline(
+            _parallel_plan(_racy_aggregate, parallelism=1), validate="off"
+        ).run()
+        _RACY_COUNTER["n"] = 0
+        sharded = Pipeline(
+            _parallel_plan(_racy_aggregate, parallelism=2), validate="off"
+        ).run()
+        assert [t.values for t in sequential.sink.received] != [
+            t.values for t in sharded.sink.received
+        ]
+
+    def test_nondeterministic_call_flagged(self):
+        report = analyze_plan(_parallel_plan(_noisy_aggregate))
+        (diag,) = report.by_rule("concurrency.nondeterministic-call")
+        assert "agg" in diag.operators
+        assert "random.random" in diag.message
+
+    def test_nondeterministic_call_diverges_run_to_run(self):
+        first = Pipeline(_parallel_plan(_noisy_aggregate), validate="off").run()
+        second = Pipeline(_parallel_plan(_noisy_aggregate), validate="off").run()
+        assert [t.values for t in first.sink.received] != [
+            t.values for t in second.sink.received
+        ]
+
+    def test_by_value_shipped_state_flagged(self):
+        seen = []
+
+        def stateful_predicate(t):
+            seen.append(t.values["x"])
+            return True
+
+        df = Dataflow("shipped")
+        df.source("src", _rows()).filter(stateful_predicate, name="f").sink("out")
+        report = analyze_plan(df, execution="cluster")
+        (diag,) = report.by_rule("concurrency.by-value-shipped-state")
+        assert diag.severity == "warning"
+        assert diag.operators == ("f",)
+
+    def test_module_level_function_ships_by_name(self):
+        df = Dataflow("shipped")
+        df.source("src", _rows()).aggregate(
+            WindowSpec(size=4.0, advance=4.0), _racy_aggregate,
+            key_function=_keyed, name="agg",
+        ).sink("out")
+        report = analyze_plan(df, execution="cluster")
+        assert "concurrency.by-value-shipped-state" not in rule_ids(report)
+
+
+# -- the Pipeline validate gate ----------------------------------------------
+
+class TestValidateGate:
+    def _deadlock_plan(self):
+        df = Dataflow("deadlock")
+        main = df.source("src", _rows())
+        side = df.receive("r", Channel("unfed"))
+        main.union(side, name="u").sink("out")
+        return df
+
+    def test_strict_blocks_a_deadlocking_plan(self):
+        with pytest.raises(PlanAnalysisError) as info:
+            Pipeline(self._deadlock_plan(), validate="strict").run()
+        message = str(info.value)
+        assert "graph.merge-deadlock" in message
+        assert "u" in message and "r" in message
+
+    def test_strict_blocks_a_racy_closure_plan(self):
+        with pytest.raises(PlanAnalysisError) as info:
+            Pipeline(_parallel_plan(_racy_aggregate), validate="strict").run()
+        message = str(info.value)
+        assert "concurrency.captured-state-mutation" in message
+        assert "agg" in message
+
+    def test_warn_mode_warns_and_still_runs(self):
+        df = Dataflow("schema")
+        (df.source("src", _rows(), schema=("key", "x"))
+           .filter(_reads_velocity, name="f")
+           .sink("out"))
+        with pytest.warns(PlanAnalysisWarning, match="schema.unknown-field"):
+            with pytest.raises(KeyError):
+                Pipeline(df).run()
+
+    def test_off_mode_is_silent(self):
+        df = Dataflow("schema")
+        (df.source("src", _rows(), schema=("key", "x"))
+           .filter(_reads_velocity, name="f")
+           .sink("out"))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(KeyError):
+                Pipeline(df, validate="off").run()
+        assert not [w for w in caught if issubclass(w.category, PlanAnalysisWarning)]
+
+    def test_strict_passes_a_clean_plan(self):
+        df = Dataflow("clean")
+        df.source("src", _rows(), schema=("key", "x")).filter(
+            _always, name="f"
+        ).sink("out")
+        result = Pipeline(df, validate="strict").run()
+        assert result.sink.count == len(_rows())
+
+    def test_unknown_validate_value_rejected(self):
+        df = Dataflow("clean")
+        df.source("src", _rows()).sink("out")
+        with pytest.raises(DataflowError, match="validate"):
+            Pipeline(df, validate="paranoid")
+
+    def test_analyze_reports_without_running(self):
+        df = Dataflow("deadlock")
+        main = df.source("src", _rows())
+        side = df.receive("r", Channel("unfed"))
+        main.union(side, name="u").sink("out")
+        report = Pipeline(df).analyze()
+        assert not report.ok
+        assert "graph.merge-deadlock" in report.rule_ids()

@@ -8,7 +8,6 @@ from repro.core.baseline import (
     BaselineProvenanceResolver,
 )
 from repro.spe.streams import Stream
-from repro.spe.tuples import StreamTuple
 from tests.optest import collect, feed, run_operator, tup
 
 

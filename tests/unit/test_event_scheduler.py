@@ -12,7 +12,6 @@ import pytest
 from repro.spe.channels import Channel
 from repro.spe.codec import BinaryChannelDecoder
 from repro.spe.errors import SchedulingError, StreamOrderError
-from repro.spe.operators.base import MultiInputOperator
 from repro.spe.operators.filter import FilterOperator
 from repro.spe.operators.map import MapOperator
 from repro.spe.operators.send_receive import ReceiveOperator, SendOperator

@@ -111,7 +111,10 @@ class TestJoinState:
 
     def test_negative_window_size_rejected(self):
         with pytest.raises(QueryValidationError):
-            JoinOperator("join", window_size=-1, predicate=lambda a, b: True, combiner=lambda a, b: {})
+            JoinOperator(
+                "join", window_size=-1,
+                predicate=lambda a, b: True, combiner=lambda a, b: {},
+            )
 
     def test_validate_requires_two_inputs(self):
         op = make_join()

@@ -9,7 +9,6 @@ from repro.spe.operators import WindowSpec
 from repro.spe.query import Query
 from repro.spe.runtime import DistributedRuntime
 from repro.spe.scheduler import Scheduler
-from repro.spe.tuples import StreamTuple
 from tests.optest import tup
 
 

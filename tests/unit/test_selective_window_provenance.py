@@ -18,7 +18,6 @@ from repro.core.types import TupleType
 from repro.spe.operators.aggregate import WindowSpec
 from repro.spe.query import Query
 from repro.spe.scheduler import Scheduler
-from repro.spe.tuples import StreamTuple
 from tests.optest import tup
 
 

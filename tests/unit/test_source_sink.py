@@ -5,7 +5,6 @@ import pytest
 from repro.spe.errors import StreamOrderError
 from repro.spe.operators import SinkOperator, SourceOperator
 from repro.spe.streams import Stream
-from repro.spe.tuples import StreamTuple
 from tests.optest import collect, feed, run_operator, tup, wire
 
 

@@ -11,7 +11,6 @@ from repro.spe.operators import (
     RouterOperator,
     UnionOperator,
 )
-from repro.spe.tuples import StreamTuple
 from tests.optest import collect, feed, run_operator, tup, wire
 
 

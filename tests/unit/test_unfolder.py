@@ -15,7 +15,6 @@ from repro.core.unfolder import (
     make_unfolded_values,
     origin_type_name,
 )
-from repro.core.types import TupleType
 from repro.spe.query import Query
 from repro.spe.scheduler import Scheduler
 from repro.spe.streams import Stream
